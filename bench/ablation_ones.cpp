@@ -1,0 +1,101 @@
+// Ablation study of the design choices DESIGN.md calls out (not a paper
+// figure — §3's design rationale, quantified):
+//
+//   * evolution operators: crossover / mutation / reorder off,
+//   * the Beta-progress predictor off (rho fixed at 1/2),
+//   * the elastic scaling mechanism replaced by checkpoint migration,
+//   * LR linear scaling off in the substrate (the §3.3.2 motivation).
+//
+// Run on a 32-GPU cluster with a contended trace (smaller than Fig 15 to
+// keep the 7-variant sweep quick).
+#include <cstdio>
+#include <memory>
+
+#include "harness.hpp"
+
+using namespace ones;
+
+namespace {
+
+/// ONES with the checkpoint mechanism instead of elastic scaling.
+class CheckpointOnes : public core::OnesScheduler {
+ public:
+  explicit CheckpointOnes(const core::OnesConfig& cfg) : core::OnesScheduler(cfg) {}
+  std::string name() const override { return "ONES-ckpt"; }
+  sched::ScalingMechanism mechanism() const override {
+    return sched::ScalingMechanism::Checkpoint;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const auto config = bench::paper_sim_config(8);  // 32 GPUs
+  const auto trace = workload::generate_trace(bench::paper_trace_config(160, 9.0));
+  std::printf("ONES ablations: %zu jobs on 32 GPUs\n\n", trace.size());
+  std::printf("%-16s %s\n", "variant", telemetry::format_summary_header().c_str());
+
+  struct Variant {
+    const char* label;
+    core::OnesConfig cfg;
+    bool checkpoint = false;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full", {}, false});
+  {
+    Variant v{"no-crossover", {}, false};
+    v.cfg.evolution.use_crossover = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no-mutation", {}, false};
+    v.cfg.evolution.use_mutation = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no-reorder", {}, false};
+    v.cfg.evolution.use_reorder = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no-predictor", {}, false};
+    v.cfg.use_predictor = false;
+    variants.push_back(v);
+  }
+  variants.push_back({"ckpt-mechanism", {}, true});
+
+  double full_jct = 0.0;
+  std::vector<std::pair<std::string, double>> rows;
+  for (const auto& variant : variants) {
+    std::unique_ptr<core::OnesScheduler> s;
+    if (variant.checkpoint) {
+      s = std::make_unique<CheckpointOnes>(variant.cfg);
+    } else {
+      s = std::make_unique<core::OnesScheduler>(variant.cfg);
+    }
+    const auto r = bench::run_one(config, trace, *s);
+    std::printf("%-16s %s\n", variant.label,
+                telemetry::format_summary_row(r.summary).c_str());
+    std::fflush(stdout);
+    if (std::string(variant.label) == "full") full_jct = r.summary.avg_jct;
+    rows.emplace_back(variant.label, r.summary.avg_jct);
+  }
+
+  // Substrate-side ablation: LR linear scaling off — large batches stop
+  // paying off, so the full ONES should degrade noticeably.
+  {
+    auto no_lr_config = config;
+    no_lr_config.convergence.lr_linear_scaling = false;
+    core::OnesScheduler s;
+    const auto r = bench::run_one(no_lr_config, trace, s);
+    std::printf("%-16s %s\n", "no-lr-scaling", telemetry::format_summary_row(r.summary).c_str());
+    rows.emplace_back("no-lr-scaling", r.summary.avg_jct);
+  }
+
+  std::printf("\nAverage-JCT change vs the full configuration:\n");
+  for (const auto& [label, jct] : rows) {
+    if (label == "full") continue;
+    std::printf("  %-16s %+7.1f%%\n", label.c_str(), 100.0 * (jct - full_jct) / full_jct);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 3 reproduction: training accuracy with a FIXED LOCAL batch of 256
+// and 1 / 2 / 4 / 8 GPUs (so the global batch is 256 * gpus).
+//
+// Expected shape: more GPUs converge visibly slower — especially beyond 2
+// GPUs, where the global batch passes the critical batch size.
+#include <cstdio>
+#include <vector>
+
+#include "model/convergence.hpp"
+#include "model/task.hpp"
+
+int main() {
+  using namespace ones;
+  const auto& profile = model::profile_by_name("ResNet50-CIFAR");
+  const std::int64_t dataset = 20000;
+  model::ConvergenceConfig config;
+  config.accuracy_noise = 0.0;
+
+  std::printf("Figure 3: validation accuracy per epoch, fixed local batch 256\n");
+  std::printf("(ResNet50 on a CIFAR10 subset, target accuracy %.2f)\n\n",
+              profile.target_accuracy);
+
+  const std::vector<int> gpu_counts = {1, 2, 4, 8};
+  std::vector<model::TrainDynamics> runs;
+  runs.reserve(gpu_counts.size());
+  for (std::size_t i = 0; i < gpu_counts.size(); ++i) {
+    runs.emplace_back(profile, dataset, config, 1);
+  }
+
+  std::printf("%6s", "epoch");
+  for (int g : gpu_counts) std::printf("   %3d GPU (B=%4d)", g, 256 * g);
+  std::printf("\n");
+  for (int epoch = 1; epoch <= 60; ++epoch) {
+    std::printf("%6d", epoch);
+    for (std::size_t i = 0; i < gpu_counts.size(); ++i) {
+      if (!runs[i].converged()) {
+        runs[i].advance(256 * gpu_counts[i], dataset);
+      }
+      std::printf("   %17.4f", runs[i].current_accuracy());
+    }
+    std::printf("\n");
+    if (epoch % 10 == 0) std::printf("\n");
+  }
+
+  std::printf("Epochs to reach the %.2f target:\n", profile.target_accuracy);
+  std::vector<int> epochs_needed;
+  for (std::size_t i = 0; i < gpu_counts.size(); ++i) {
+    model::TrainDynamics d(profile, dataset, config, 1);
+    int epochs = 0;
+    while (!d.converged() && epochs < 500) {
+      d.advance(256 * gpu_counts[i], dataset);
+      ++epochs;
+    }
+    epochs_needed.push_back(epochs);
+    std::printf("  %d GPU(s): %d epochs\n", gpu_counts[i], epochs);
+  }
+  const bool slower_past_two = epochs_needed[2] > epochs_needed[1] &&
+                               epochs_needed[3] > epochs_needed[2];
+  std::printf("\nShape check vs the paper: convergence slows past 2 GPUs: %s\n",
+              slower_past_two ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figures 17 & 18 reproduction: scheduling scalability across cluster
+// capacities (16 -> 64 GPUs) on a fixed trace.
+//
+//   Fig 17: average JCT / execution time / queuing time per scheduler and
+//           cluster size — all fall as capacity grows, queuing near-linearly.
+//   Fig 18: ONES's average-JCT improvement over each baseline — which grows
+//           with the cluster size (ONES exploits free GPUs best).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "harness.hpp"
+
+using namespace ones;
+
+int main() {
+  const auto trace = workload::generate_trace(bench::paper_trace_config(240, 4.5));
+  const std::vector<int> node_counts = {4, 8, 12, 16};  // 16..64 GPUs
+
+  std::printf("Figures 17/18: scalability, %zu jobs, cluster capacity 16..64 GPUs\n",
+              trace.size());
+
+  auto schedulers = bench::make_schedulers();
+  // scheduler -> per-capacity summaries
+  std::map<std::string, std::vector<telemetry::Summary>> table;
+  std::vector<std::string> order;
+  for (sched::Scheduler* s : schedulers.paper_four()) order.push_back(s->name());
+
+  for (int nodes : node_counts) {
+    const auto config = bench::paper_sim_config(nodes);
+    for (sched::Scheduler* s : schedulers.paper_four()) {
+      std::printf("[run] %s @ %d GPUs...\n", s->name().c_str(), nodes * 4);
+      std::fflush(stdout);
+      table[s->name()].push_back(bench::run_one(config, trace, *s).summary);
+    }
+  }
+
+  auto print_metric = [&](const char* title, double telemetry::Summary::* field) {
+    std::printf("\nFigure 17 — %s\n", title);
+    std::printf("  %-10s", "scheduler");
+    for (int nodes : node_counts) std::printf(" %9d", nodes * 4);
+    std::printf("   (GPUs)\n");
+    for (const auto& name : order) {
+      std::printf("  %-10s", name.c_str());
+      for (const auto& s : table[name]) std::printf(" %9.1f", s.*field);
+      std::printf("\n");
+    }
+  };
+  print_metric("average JCT (s)", &telemetry::Summary::avg_jct);
+  print_metric("average execution time (s)", &telemetry::Summary::avg_exec);
+  print_metric("average queuing time (s)", &telemetry::Summary::avg_queue);
+
+  std::printf("\nFigure 18 — ONES average-JCT improvement vs baselines (%%)\n");
+  std::printf("  %-10s", "baseline");
+  for (int nodes : node_counts) std::printf(" %9d", nodes * 4);
+  std::printf("   (GPUs)\n");
+  std::vector<std::vector<double>> improvements;
+  for (std::size_t b = 1; b < order.size(); ++b) {
+    std::printf("  %-10s", order[b].c_str());
+    std::vector<double> row;
+    for (std::size_t c = 0; c < node_counts.size(); ++c) {
+      const double ones_jct = table[order[0]][c].avg_jct;
+      const double base_jct = table[order[b]][c].avg_jct;
+      row.push_back(100.0 * (base_jct - ones_jct) / base_jct);
+      std::printf(" %8.1f%%", row.back());
+    }
+    improvements.push_back(row);
+    std::printf("\n");
+  }
+
+  std::printf("\nShape checks vs the paper:\n");
+  bool jct_falls = true;
+  for (const auto& name : order) {
+    for (std::size_t c = 1; c < node_counts.size(); ++c) {
+      if (table[name][c].avg_jct > table[name][c - 1].avg_jct * 1.05) jct_falls = false;
+    }
+  }
+  std::printf("  average JCT falls as capacity grows (all schedulers): %s\n",
+              jct_falls ? "OK" : "MISMATCH");
+  bool positive_at_full = true;
+  for (const auto& row : improvements) {
+    if (row.back() <= 0.0) positive_at_full = false;
+  }
+  std::printf("  ONES improves on every baseline at 64 GPUs: %s\n",
+              positive_at_full ? "OK" : "MISMATCH");
+  bool queue_linear = true;
+  for (const auto& name : order) {
+    if (name == "Optimus") continue;  // round-based floor dominates its queue
+    const double q16 = table[name].front().avg_queue;
+    const double q64 = table[name].back().avg_queue;
+    if (q64 > 0.33 * q16) queue_linear = false;
+  }
+  std::printf("  queuing time decreases near-linearly with capacity: %s\n",
+              queue_linear ? "OK" : "MISMATCH");
+  std::printf("\nNote on Fig 18's trend: the paper reports improvements *growing* from\n"
+              "16 to 64 GPUs. On a fixed trace that holds while the largest cluster is\n"
+              "still contended; once capacity outgrows the offered load, all schedulers\n"
+              "converge and margins compress (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Shared helpers for the reproduction benches: the paper's evaluation
+// configuration (64-GPU Longhorn-like cluster, Table 2 trace) and a runner
+// that executes one scheduler over a trace and collects its metrics.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ones_scheduler.hpp"
+#include "drl/drl_scheduler.hpp"
+#include "sched/fifo.hpp"
+#include "sched/optimus.hpp"
+#include "sched/simulation.hpp"
+#include "sched/srtf.hpp"
+#include "sched/tiresias.hpp"
+#include "telemetry/metrics.hpp"
+#include "workload/trace.hpp"
+
+namespace ones::bench {
+
+/// The paper's testbed: 16 nodes x 4 V100 = 64 GPUs (§4.1).
+inline sched::SimulationConfig paper_sim_config(int nodes = 16) {
+  sched::SimulationConfig c;
+  c.topology.num_nodes = nodes;
+  c.topology.gpus_per_node = 4;
+  return c;
+}
+
+/// The evaluation trace: Table 2 variants, Poisson arrivals. The arrival
+/// rate is calibrated so the cluster is contended (the regime the paper's
+/// queuing/fragmentation arguments address).
+inline workload::TraceConfig paper_trace_config(int jobs = 240,
+                                                double interarrival_s = 4.5,
+                                                std::uint64_t seed = 7) {
+  workload::TraceConfig t;
+  t.num_jobs = jobs;
+  t.mean_interarrival_s = interarrival_s;
+  t.seed = seed;
+  return t;
+}
+
+struct RunResult {
+  telemetry::Summary summary;
+  std::vector<double> jcts;
+  std::vector<double> exec_times;
+  std::vector<double> queue_times;
+  std::map<JobId, double> jct_by_job;  ///< ordered, for paired tests
+  std::size_t completed = 0;
+};
+
+inline RunResult run_one(const sched::SimulationConfig& config,
+                         const std::vector<workload::JobSpec>& trace,
+                         sched::Scheduler& scheduler) {
+  sched::ClusterSimulation sim(config, trace, scheduler);
+  sim.run();
+  RunResult r;
+  r.summary = telemetry::summarize(scheduler.name(), sim.metrics(),
+                                   sim.topology().total_gpus());
+  r.jcts = sim.metrics().jcts();
+  r.exec_times = sim.metrics().exec_times();
+  r.queue_times = sim.metrics().queue_times();
+  for (const auto& [id, jct] : sim.metrics().jct_by_job()) r.jct_by_job[id] = jct;
+  r.completed = sim.completed_jobs();
+  return r;
+}
+
+/// The four schedulers of the paper's evaluation (Table 3), plus optionally
+/// the FIFO / SRTF* references. The DRL baseline is trained offline first.
+struct SchedulerSet {
+  std::unique_ptr<core::OnesScheduler> ones;
+  std::unique_ptr<drl::DrlScheduler> drl;
+  std::unique_ptr<sched::TiresiasScheduler> tiresias;
+  std::unique_ptr<sched::OptimusScheduler> optimus;
+  std::unique_ptr<sched::FifoScheduler> fifo;
+  std::unique_ptr<sched::SrtfOracleScheduler> srtf;
+
+  std::vector<sched::Scheduler*> paper_four() {
+    return {ones.get(), drl.get(), tiresias.get(), optimus.get()};
+  }
+  std::vector<sched::Scheduler*> all() {
+    return {ones.get(), drl.get(), tiresias.get(), optimus.get(), fifo.get(), srtf.get()};
+  }
+};
+
+inline SchedulerSet make_schedulers(bool train_drl = true) {
+  SchedulerSet s;
+  s.ones = std::make_unique<core::OnesScheduler>();
+  s.drl = std::make_unique<drl::DrlScheduler>();
+  if (train_drl) {
+    std::printf("[setup] training the DRL baseline policy offline...\n");
+    std::fflush(stdout);
+    s.drl->train();
+  }
+  s.tiresias = std::make_unique<sched::TiresiasScheduler>();
+  s.optimus = std::make_unique<sched::OptimusScheduler>();
+  s.fifo = std::make_unique<sched::FifoScheduler>();
+  s.srtf = std::make_unique<sched::SrtfOracleScheduler>();
+  return s;
+}
+
+inline void print_rule(char ch = '-', int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar(ch);
+  std::putchar('\n');
+}
+
+}  // namespace ones::bench

@@ -1,0 +1,136 @@
+// Prediction quality study (the paper's §2.1/§3.2.1 argument: absolute
+// job-length prediction is hard; ONES instead models progress
+// distributions).
+//
+// Replays every completed job's history and compares three estimators of
+// the job's REMAINING WORKLOAD (raw samples still to process) at each epoch
+// against the ground truth known in hindsight:
+//
+//   * ONES       — Eq. 7 at the Beta-distribution mean,
+//   * Optimus    — reciprocal accuracy-curve fit, remaining epochs x |D|,
+//   * naive mean — mean total samples of previously completed jobs minus
+//                  samples processed so far.
+//
+// Reported per estimator: median / p90 absolute percentage error. Expected
+// shape: ONES's progress-based estimator beats both the curve fit and the
+// naive mean; every estimator's RELATIVE error explodes near completion
+// (the denominator goes to zero faster than predictions can track it); and
+// no estimator is anywhere near exact — motivating ONES's distributional
+// treatment over point predictions.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "harness.hpp"
+#include "predict/progress_predictor.hpp"
+#include "sched/optimus.hpp"
+
+using namespace ones;
+
+namespace {
+
+struct ErrorStats {
+  std::vector<double> ape;  ///< absolute percentage errors
+  void add(double predicted, double truth) {
+    if (truth <= 0.0) return;
+    ape.push_back(std::fabs(predicted - truth) / truth);
+  }
+  double median() const { return ones::quantile(ape, 0.5); }
+  double p90() const { return ones::quantile(ape, 0.9); }
+};
+
+}  // namespace
+
+int main() {
+  const auto config = bench::paper_sim_config(8);  // 32 GPUs
+  const auto trace = workload::generate_trace(bench::paper_trace_config(120, 9.0));
+  std::printf("Prediction quality: remaining-workload estimates over %zu jobs\n\n",
+              trace.size());
+
+  core::OnesScheduler scheduler;
+  sched::ClusterSimulation sim(config, trace, scheduler);
+  sim.run();
+  const auto& predictor = scheduler.predictor();
+  sched::OptimusScheduler optimus;  // only its fitting routine is used
+
+  // Mean total samples across all completed jobs (the naive estimator's
+  // population; using the final value slightly flatters it).
+  double mean_total = 0.0;
+  int completed = 0;
+  for (const auto& spec : trace) {
+    const auto& v = sim.job_view(spec.id);
+    if (v.aborted || v.epoch_log.empty()) continue;
+    mean_total += v.epoch_log.back().samples_processed;
+    ++completed;
+  }
+  mean_total /= std::max(completed, 1);
+
+  ErrorStats ones_err, optimus_err, naive_err;
+  ErrorStats ones_late, optimus_late, naive_late;  // last third of training
+
+  for (const auto& spec : trace) {
+    const auto& v = sim.job_view(spec.id);
+    if (v.aborted || v.epoch_log.size() < 3) continue;
+    const double total = v.epoch_log.back().samples_processed;
+    for (std::size_t e = 1; e + 1 < v.epoch_log.size(); ++e) {
+      sched::JobView past = v;
+      past.status = sched::JobStatus::Running;
+      past.epoch_log.resize(e + 1);
+      past.epochs_completed = static_cast<int>(e + 1);
+      past.samples_processed = past.epoch_log.back().samples_processed;
+      past.train_loss = past.epoch_log.back().train_loss;
+      past.val_accuracy = past.epoch_log.back().val_accuracy;
+
+      const double truth = total - past.samples_processed;
+      const double ones_pred = predictor.expected_remaining_samples(past);
+      const double optimus_pred =
+          optimus.predict_remaining_epochs(past) * past.dataset_size();
+      const double naive_pred = std::max(mean_total - past.samples_processed, 0.0);
+
+      ones_err.add(ones_pred, truth);
+      optimus_err.add(optimus_pred, truth);
+      naive_err.add(naive_pred, truth);
+      if (past.samples_processed > (2.0 / 3.0) * total) {
+        ones_late.add(ones_pred, truth);
+        optimus_late.add(optimus_pred, truth);
+        naive_late.add(naive_pred, truth);
+      }
+    }
+  }
+
+  std::printf("absolute percentage error of remaining-workload estimates "
+              "(%zu evaluation points):\n\n",
+              ones_err.ape.size());
+  std::printf("%-22s %12s %12s\n", "estimator", "median APE", "p90 APE");
+  std::printf("%-22s %11.1f%% %11.1f%%\n", "ONES (Eq.7, Beta mean)",
+              100.0 * ones_err.median(), 100.0 * ones_err.p90());
+  std::printf("%-22s %11.1f%% %11.1f%%\n", "Optimus (curve fit)",
+              100.0 * optimus_err.median(), 100.0 * optimus_err.p90());
+  std::printf("%-22s %11.1f%% %11.1f%%\n", "naive mean",
+              100.0 * naive_err.median(), 100.0 * naive_err.p90());
+
+  std::printf("\nlate training only (last third of each job):\n");
+  std::printf("%-22s %11.1f%% %11.1f%%\n", "ONES (Eq.7, Beta mean)",
+              100.0 * ones_late.median(), 100.0 * ones_late.p90());
+  std::printf("%-22s %11.1f%% %11.1f%%\n", "Optimus (curve fit)",
+              100.0 * optimus_late.median(), 100.0 * optimus_late.p90());
+  std::printf("%-22s %11.1f%% %11.1f%%\n", "naive mean",
+              100.0 * naive_late.median(), 100.0 * naive_late.p90());
+
+  std::printf("\nShape checks:\n");
+  std::printf("  ONES beats the naive mean overall: %s\n",
+              ones_err.median() < naive_err.median() ? "OK" : "MISMATCH");
+  std::printf("  ONES beats the Optimus-style curve fit overall: %s\n",
+              ones_err.median() < optimus_err.median() ? "OK" : "MISMATCH");
+  std::printf("  relative error explodes near completion for every estimator\n"
+              "  (why absolute length prediction is brittle): %s\n",
+              (ones_late.p90() > ones_err.p90() && naive_late.p90() > naive_err.p90())
+                  ? "OK"
+                  : "MISMATCH");
+  std::printf("  no estimator is near-exact (median APE > 5%%) — the premise of\n"
+              "  modelling progress distributions instead of point lengths: %s\n",
+              ones_err.median() > 0.05 ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 4 reproduction: Wilcoxon significance tests of per-job JCT,
+// ONES vs each baseline, on the shared Figure 15 trace.
+//
+// Following the paper: a two-sided test (H0: the two schedulers' JCTs are
+// equivalent — rejected when p << 0.05) and a one-sided "negative" test
+// reported such that a p value near 1 supports "ONES's JCTs are smaller".
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+#include "stats/wilcoxon.hpp"
+
+using namespace ones;
+
+int main() {
+  const auto config = bench::paper_sim_config();
+  const auto trace = workload::generate_trace(bench::paper_trace_config());
+  std::printf("Table 4: Wilcoxon significance tests on per-job JCT (%zu paired jobs)\n",
+              trace.size());
+
+  auto schedulers = bench::make_schedulers();
+  std::vector<bench::RunResult> results;
+  for (sched::Scheduler* s : schedulers.paper_four()) {
+    std::printf("[run] %s...\n", s->name().c_str());
+    std::fflush(stdout);
+    results.push_back(bench::run_one(config, trace, *s));
+  }
+
+  // Pair by job id (the same jobs under each scheduler).
+  auto paired = [&](const bench::RunResult& a, const bench::RunResult& b) {
+    std::vector<double> x, y;
+    for (const auto& [id, jct] : a.jct_by_job) {
+      auto it = b.jct_by_job.find(id);
+      if (it != b.jct_by_job.end()) {
+        x.push_back(jct);
+        y.push_back(it->second);
+      }
+    }
+    return stats::wilcoxon_signed_rank(x, y);
+  };
+
+  std::printf("\n%-14s %24s %30s\n", "", "p value (two-sided)", "p value (one-sided negative)");
+  bool all_significant = true;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto res = paired(results[0], results[i]);
+    std::printf("vs. %-10s %24.3e %30.5f\n", results[i].summary.scheduler.c_str(),
+                res.p_two_sided, res.p_greater);
+    if (res.p_two_sided >= 0.05 || res.p_greater <= 0.95) all_significant = false;
+  }
+
+  std::printf("\nShape check vs the paper (two-sided p << 0.05 and one-sided\n"
+              "negative p near 1 for every baseline): %s\n",
+              all_significant ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: schedule a small trace on a 16-GPU cluster with ONES and with
+// a FIFO baseline, and compare the outcomes.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/ones_scheduler.hpp"
+#include "sched/fifo.hpp"
+#include "sched/simulation.hpp"
+#include "telemetry/metrics.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace ones;
+
+  // A 4-node x 4-GPU cluster (16 GPUs) and 24 jobs arriving as a Poisson
+  // process, drawn from the paper's Table 2 workload catalog.
+  sched::SimulationConfig config;
+  config.topology.num_nodes = 4;
+
+  workload::TraceConfig trace_config;
+  trace_config.num_jobs = 24;
+  trace_config.mean_interarrival_s = 45.0;
+  trace_config.seed = 7;
+  const auto trace = workload::generate_trace(trace_config);
+
+  std::printf("Trace: %d jobs on %d GPUs\n", trace_config.num_jobs,
+              config.topology.num_nodes * config.topology.gpus_per_node);
+  std::printf("%s\n", telemetry::format_summary_header().c_str());
+
+  {
+    core::OnesScheduler ones_sched;
+    sched::ClusterSimulation sim(config, trace, ones_sched);
+    sim.run();
+    const auto s = telemetry::summarize("ONES", sim.metrics(), sim.topology().total_gpus());
+    std::printf("%s\n", telemetry::format_summary_row(s).c_str());
+    std::printf("  completed %zu/%d jobs, %llu schedule deployments, %llu evolution rounds\n",
+                sim.completed_jobs(), trace_config.num_jobs,
+                static_cast<unsigned long long>(sim.deployments()),
+                static_cast<unsigned long long>(ones_sched.evolution_rounds()));
+  }
+  {
+    sched::FifoScheduler fifo;
+    sched::ClusterSimulation sim(config, trace, fifo);
+    sim.run();
+    const auto s = telemetry::summarize("FIFO", sim.metrics(), sim.topology().total_gpus());
+    std::printf("%s\n", telemetry::format_summary_row(s).c_str());
+    std::printf("  completed %zu/%d jobs\n", sim.completed_jobs(), trace_config.num_jobs);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Trace replay: run a Table 2 workload trace on a simulated GPU cluster
+// under any of the implemented schedulers and report per-job and aggregate
+// scheduling metrics. This is the "cluster operator" view of the library.
+//
+// Usage:
+//   trace_replay [scheduler] [jobs] [interarrival_s] [nodes] [seed]
+//   scheduler in {ones, ones-sa, fifo, tiresias, optimus, srtf, drl, gandiva};
+//   default ones.
+//
+// Example:
+//   ./build/examples/trace_replay ones 80 8 8 42
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "core/annealing.hpp"
+#include "core/ones_scheduler.hpp"
+#include "drl/drl_scheduler.hpp"
+#include "sched/fifo.hpp"
+#include "sched/gandiva.hpp"
+#include "sched/optimus.hpp"
+#include "sched/simulation.hpp"
+#include "sched/srtf.hpp"
+#include "sched/tiresias.hpp"
+#include "telemetry/metrics.hpp"
+#include "workload/trace.hpp"
+
+using namespace ones;
+
+namespace {
+
+std::unique_ptr<sched::Scheduler> make_scheduler(const char* name) {
+  if (!std::strcmp(name, "ones")) return std::make_unique<core::OnesScheduler>();
+  if (!std::strcmp(name, "ones-sa")) return std::make_unique<core::AnnealingScheduler>();
+  if (!std::strcmp(name, "gandiva")) return std::make_unique<sched::GandivaScheduler>();
+  if (!std::strcmp(name, "fifo")) return std::make_unique<sched::FifoScheduler>();
+  if (!std::strcmp(name, "tiresias")) return std::make_unique<sched::TiresiasScheduler>();
+  if (!std::strcmp(name, "optimus")) return std::make_unique<sched::OptimusScheduler>();
+  if (!std::strcmp(name, "srtf")) return std::make_unique<sched::SrtfOracleScheduler>();
+  if (!std::strcmp(name, "drl")) {
+    auto drl = std::make_unique<drl::DrlScheduler>();
+    std::printf("training the DRL policy offline...\n");
+    drl->train();
+    return drl;
+  }
+  std::fprintf(stderr, "unknown scheduler '%s'\n", name);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* which = argc > 1 ? argv[1] : "ones";
+  workload::TraceConfig tc;
+  tc.num_jobs = argc > 2 ? std::atoi(argv[2]) : 80;
+  tc.mean_interarrival_s = argc > 3 ? std::atof(argv[3]) : 8.0;
+  const int nodes = argc > 4 ? std::atoi(argv[4]) : 8;
+  tc.seed = argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5])) : 42;
+
+  sched::SimulationConfig config;
+  config.topology.num_nodes = nodes;
+
+  const auto trace = workload::generate_trace(tc);
+  auto scheduler = make_scheduler(which);
+
+  std::printf("Replaying %d jobs (mean inter-arrival %.1fs, seed %llu) on %d GPUs "
+              "under %s\n\n",
+              tc.num_jobs, tc.mean_interarrival_s,
+              static_cast<unsigned long long>(tc.seed), nodes * 4,
+              scheduler->name().c_str());
+
+  sched::ClusterSimulation sim(config, trace, *scheduler);
+  sim.run();
+
+  std::printf("%4s %-14s %-16s %8s %8s %8s %7s %6s %7s\n", "id", "model", "dataset",
+              "arrive", "jct", "exec", "queue", "epochs", "preempt");
+  for (const auto& spec : trace) {
+    const auto& m = sim.metrics().job(spec.id);
+    const auto& v = sim.job_view(spec.id);
+    std::printf("%4lld %-14s %-16s %8.1f %8.1f %8.1f %7.1f %6d %7d\n",
+                static_cast<long long>(spec.id), spec.variant.model_name.c_str(),
+                spec.variant.dataset.c_str(), m.arrival_s, m.jct(), m.exec_time_s,
+                m.queue_time(), v.epochs_completed, m.preemptions);
+  }
+
+  std::printf("\n%s\n", telemetry::format_summary_header().c_str());
+  const auto summary =
+      telemetry::summarize(scheduler->name(), sim.metrics(), sim.topology().total_gpus());
+  std::printf("%s\n", telemetry::format_summary_row(summary).c_str());
+  std::printf("completed %zu/%d jobs, %llu schedule deployments\n", sim.completed_jobs(),
+              tc.num_jobs, static_cast<unsigned long long>(sim.deployments()));
+  return sim.all_completed() ? 0 : 1;
+}

@@ -1,0 +1,158 @@
+#include "cluster/assignment.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/expect.hpp"
+
+namespace ones::cluster {
+
+Assignment::Assignment(int num_gpus) : slots_(static_cast<std::size_t>(num_gpus)) {
+  ONES_EXPECT(num_gpus >= 0);
+}
+
+const Slot& Assignment::slot(GpuId gpu) const {
+  ONES_EXPECT(gpu >= 0 && gpu < num_gpus());
+  return slots_[static_cast<std::size_t>(gpu)];
+}
+
+void Assignment::place(GpuId gpu, JobId job, int local_batch) {
+  ONES_EXPECT(gpu >= 0 && gpu < num_gpus());
+  ONES_EXPECT_MSG(job != kInvalidJob, "cannot place the invalid job");
+  ONES_EXPECT_MSG(local_batch >= 1, "a worker needs at least one sample per step");
+  slots_[static_cast<std::size_t>(gpu)] = Slot{job, local_batch};
+}
+
+void Assignment::clear(GpuId gpu) {
+  ONES_EXPECT(gpu >= 0 && gpu < num_gpus());
+  slots_[static_cast<std::size_t>(gpu)] = Slot{};
+}
+
+int Assignment::evict(JobId job) {
+  int freed = 0;
+  for (auto& s : slots_) {
+    if (s.job == job) {
+      s = Slot{};
+      ++freed;
+    }
+  }
+  return freed;
+}
+
+void Assignment::set_local_batch(GpuId gpu, int local_batch) {
+  ONES_EXPECT(gpu >= 0 && gpu < num_gpus());
+  ONES_EXPECT(local_batch >= 1);
+  auto& s = slots_[static_cast<std::size_t>(gpu)];
+  ONES_EXPECT_MSG(s.occupied(), "cannot set a batch size on an idle GPU");
+  s.local_batch = local_batch;
+}
+
+int Assignment::global_batch(JobId job) const {
+  int b = 0;
+  for (const auto& s : slots_) {
+    if (s.job == job) b += s.local_batch;
+  }
+  return b;
+}
+
+int Assignment::gpu_count(JobId job) const {
+  int c = 0;
+  for (const auto& s : slots_) {
+    if (s.job == job) ++c;
+  }
+  return c;
+}
+
+std::vector<GpuId> Assignment::gpus_of(JobId job) const {
+  std::vector<GpuId> out;
+  for (int g = 0; g < num_gpus(); ++g) {
+    if (slots_[static_cast<std::size_t>(g)].job == job) out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<JobId> Assignment::running_jobs() const {
+  std::vector<JobId> out;
+  std::unordered_set<JobId> seen;
+  for (const auto& s : slots_) {
+    if (s.occupied() && seen.insert(s.job).second) out.push_back(s.job);
+  }
+  return out;
+}
+
+std::vector<GpuId> Assignment::idle_gpus() const {
+  std::vector<GpuId> out;
+  for (int g = 0; g < num_gpus(); ++g) {
+    if (!slots_[static_cast<std::size_t>(g)].occupied()) out.push_back(g);
+  }
+  return out;
+}
+
+int Assignment::idle_count() const {
+  int n = 0;
+  for (const auto& s : slots_) {
+    if (!s.occupied()) ++n;
+  }
+  return n;
+}
+
+std::string Assignment::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (int g = 0; g < num_gpus(); ++g) {
+    if (g > 0) os << " ";
+    const auto& s = slots_[static_cast<std::size_t>(g)];
+    if (s.occupied()) {
+      os << s.job << ":" << s.local_batch;
+    } else {
+      os << "-";
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+void Assignment::check_invariants() const {
+  for (const auto& s : slots_) {
+    if (s.occupied()) {
+      ONES_EXPECT_MSG(s.local_batch >= 1, "occupied slot with local batch < 1");
+    } else {
+      ONES_EXPECT_MSG(s.local_batch == 0, "idle slot carries a batch size");
+    }
+  }
+}
+
+AssignmentDelta diff(const Assignment& prev, const Assignment& next) {
+  ONES_EXPECT(prev.num_gpus() == next.num_gpus());
+  AssignmentDelta d;
+  std::unordered_set<JobId> prev_jobs, next_jobs;
+  for (JobId j : prev.running_jobs()) prev_jobs.insert(j);
+  for (JobId j : next.running_jobs()) next_jobs.insert(j);
+
+  for (JobId j : next.running_jobs()) {
+    if (!prev_jobs.count(j)) {
+      d.started.push_back(j);
+      continue;
+    }
+    // Same job on both sides: did its placement or batches change?
+    bool changed = false;
+    for (int g = 0; g < prev.num_gpus(); ++g) {
+      const auto& a = prev.slot(g);
+      const auto& b = next.slot(g);
+      const bool a_mine = a.job == j;
+      const bool b_mine = b.job == j;
+      if (a_mine != b_mine || (a_mine && a.local_batch != b.local_batch)) {
+        changed = true;
+        break;
+      }
+    }
+    (changed ? d.reconfigured : d.unchanged).push_back(j);
+  }
+  for (JobId j : prev.running_jobs()) {
+    if (!next_jobs.count(j)) d.stopped.push_back(j);
+  }
+  return d;
+}
+
+}  // namespace ones::cluster

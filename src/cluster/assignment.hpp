@@ -1,0 +1,87 @@
+// Cluster-wide schedule: the mapping S : J x C -> {b_j^i} from the paper
+// (Eq. 1). One slot per GPU holds the job running there and its local batch
+// size; a job's global batch size B_j and GPU count c_j follow from Eq. 2.
+//
+// This type doubles as the *genome* of the evolutionary search (Figure 1):
+// the refresh / crossover / mutation / reorder operators all manipulate
+// Assignments directly.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace ones::cluster {
+
+/// Per-GPU gene: which job runs on this device and with what local batch.
+struct Slot {
+  JobId job = kInvalidJob;
+  int local_batch = 0;
+
+  bool occupied() const { return job != kInvalidJob; }
+  bool operator==(const Slot&) const = default;
+};
+
+class Assignment {
+ public:
+  Assignment() = default;
+  explicit Assignment(int num_gpus);
+
+  int num_gpus() const { return static_cast<int>(slots_.size()); }
+  const Slot& slot(GpuId gpu) const;
+
+  /// Place a worker of `job` on `gpu` with `local_batch` >= 1 samples.
+  /// Overwrites whatever was there (preemption is the caller's policy call).
+  void place(GpuId gpu, JobId job, int local_batch);
+
+  /// Free a GPU.
+  void clear(GpuId gpu);
+
+  /// Remove all workers of a job; returns the number of GPUs freed.
+  int evict(JobId job);
+
+  /// Change the local batch on a GPU already running `job`.
+  void set_local_batch(GpuId gpu, int local_batch);
+
+  // ---- Derived views (Eq. 2) ----
+
+  /// Global batch size B_j (0 if the job is not placed).
+  int global_batch(JobId job) const;
+  /// Number of GPUs c_j.
+  int gpu_count(JobId job) const;
+  /// GPUs hosting workers of the job, in ascending GPU order.
+  std::vector<GpuId> gpus_of(JobId job) const;
+  /// Jobs with at least one worker, in first-occurrence order.
+  std::vector<JobId> running_jobs() const;
+  /// GPUs with no worker.
+  std::vector<GpuId> idle_gpus() const;
+  int idle_count() const;
+
+  bool operator==(const Assignment&) const = default;
+
+  /// Compact human-readable rendering (for logs and examples):
+  /// "[1:256 1:256 - 7:512]".
+  std::string to_string() const;
+
+  /// Validate Eq. 4 style invariants: every occupied slot has local_batch>=1,
+  /// every idle slot has local_batch==0. Throws on violation.
+  void check_invariants() const;
+
+ private:
+  std::vector<Slot> slots_;
+};
+
+/// Difference between two schedules, used to charge scaling costs only to
+/// jobs whose configuration actually changed.
+struct AssignmentDelta {
+  std::vector<JobId> started;      ///< jobs with workers only in `next`
+  std::vector<JobId> stopped;      ///< jobs with workers only in `prev`
+  std::vector<JobId> reconfigured; ///< jobs whose worker set or batches changed
+  std::vector<JobId> unchanged;
+};
+
+AssignmentDelta diff(const Assignment& prev, const Assignment& next);
+
+}  // namespace ones::cluster

@@ -1,0 +1,44 @@
+#include "cluster/topology.hpp"
+
+#include <unordered_set>
+
+#include "common/expect.hpp"
+
+namespace ones::cluster {
+
+Topology::Topology(const TopologyConfig& config) : config_(config) {
+  ONES_EXPECT(config.num_nodes > 0);
+  ONES_EXPECT(config.gpus_per_node > 0);
+  ONES_EXPECT(config.intra_node_bw_Bps > 0.0 && config.inter_node_bw_Bps > 0.0);
+}
+
+NodeId Topology::node_of(GpuId gpu) const {
+  ONES_EXPECT(gpu >= 0 && gpu < total_gpus());
+  return gpu / config_.gpus_per_node;
+}
+
+std::vector<GpuId> Topology::gpus_of(NodeId node) const {
+  ONES_EXPECT(node >= 0 && node < config_.num_nodes);
+  std::vector<GpuId> out;
+  out.reserve(config_.gpus_per_node);
+  for (int i = 0; i < config_.gpus_per_node; ++i) {
+    out.push_back(node * config_.gpus_per_node + i);
+  }
+  return out;
+}
+
+int Topology::nodes_spanned(const std::vector<GpuId>& gpus) const {
+  std::unordered_set<NodeId> nodes;
+  for (GpuId g : gpus) nodes.insert(node_of(g));
+  return static_cast<int>(nodes.size());
+}
+
+LinkProfile Topology::link_profile(const std::vector<GpuId>& gpus) const {
+  ONES_EXPECT(!gpus.empty());
+  if (nodes_spanned(gpus) <= 1) {
+    return {config_.intra_node_bw_Bps, config_.intra_node_latency_s};
+  }
+  return {config_.inter_node_bw_Bps, config_.inter_node_latency_s};
+}
+
+}  // namespace ones::cluster

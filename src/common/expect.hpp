@@ -1,0 +1,32 @@
+// Lightweight precondition / invariant checking.
+//
+// ONES_EXPECT throws std::logic_error on violation; it is always enabled
+// (scheduling decisions are cheap relative to the simulated work, and a
+// silently-corrupt schedule is much worse than an exception).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ones {
+
+[[noreturn]] inline void expect_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "ONES_EXPECT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ones
+
+#define ONES_EXPECT(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::ones::expect_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ONES_EXPECT_MSG(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) ::ones::expect_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

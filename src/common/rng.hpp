@@ -1,0 +1,77 @@
+// Deterministic random number generation for reproducible simulation runs.
+//
+// Every stochastic component of the simulator (arrival process, evolutionary
+// operators, probability sampling, DRL exploration, ...) draws from an Rng
+// seeded from the experiment configuration, so that a run is a pure function
+// of its seed. The generator is xoshiro256**, seeded via splitmix64, which is
+// fast, has 256-bit state and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ones {
+
+/// splitmix64 step; used for seeding and cheap hash mixing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic PRNG (xoshiro256**) with distribution helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// UniformRandomBitGenerator interface (usable with <random> adaptors).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+  /// Exponential with rate lambda (mean 1/lambda).
+  double exponential(double lambda);
+  /// Gamma(shape, scale) via Marsaglia–Tsang (with Ahrens–Dieter boost for
+  /// shape < 1).
+  double gamma(double shape, double scale);
+  /// Beta(alpha, beta) via two gamma draws.
+  double beta(double alpha, double beta);
+  /// Poisson(mean) — Knuth for small mean, normal approximation for large.
+  std::int64_t poisson(double mean);
+
+  /// Pick an index in [0, weights.size()) proportionally to non-negative
+  /// weights. If all weights are zero, picks uniformly. Requires non-empty.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace ones

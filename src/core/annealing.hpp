@@ -1,0 +1,66 @@
+// Simulated-annealing scheduler over the same schedule-genome space.
+//
+// §3.2 argues evolutionary search suits the scheduling problem better than
+// other approximate searches (simulated annealing, tabu, nearest-neighbor,
+// ant colony). This scheduler makes that claim testable: it shares ONES's
+// entire machinery — batch-limit policies, progress predictor, SRUF score,
+// the refresh/repair/fill operators — but replaces the population-based
+// evolution with single-solution Metropolis annealing whose neighborhood is
+// the *uniform mutation* operator. Compare with bench/search_strategies.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/batch_policy.hpp"
+#include "core/evolution.hpp"
+#include "predict/progress_predictor.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ones::core {
+
+struct AnnealingConfig {
+  /// Metropolis proposals evaluated per scheduler event.
+  int proposals_per_event = 64;
+  double initial_temperature = 400.0;  ///< in SRUF score units (GPU-seconds)
+  double cooling = 0.995;              ///< multiplicative, per proposal
+  double min_temperature = 5.0;
+  EvolutionConfig operators;  ///< operator toolbox config (mutation rate etc.)
+  BatchPolicyConfig policy;
+  predict::PredictorConfig predictor;
+  bool use_predictor = true;
+};
+
+class AnnealingScheduler : public sched::Scheduler {
+ public:
+  explicit AnnealingScheduler(const AnnealingConfig& config = {});
+
+  std::string name() const override { return "ONES-SA"; }
+  sched::ScalingMechanism mechanism() const override {
+    return sched::ScalingMechanism::Elastic;
+  }
+
+  std::optional<cluster::Assignment> on_event(const sched::ClusterState& state,
+                                              const sched::SchedulerEvent& event) override;
+
+  double temperature() const { return temperature_; }
+  std::uint64_t proposals() const { return proposals_; }
+  std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  bool update_condition(const sched::ClusterState& state,
+                        const sched::SchedulerEvent& event) const;
+
+  AnnealingConfig config_;
+  predict::ProgressPredictor predictor_;
+  BatchLimitManager limits_;
+  Evolution toolbox_;  ///< operator implementations (population unused)
+  Rng rng_;
+  cluster::Assignment incumbent_;
+  bool has_incumbent_ = false;
+  double temperature_;
+  std::uint64_t proposals_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::unordered_map<JobId, int> epochs_at_deploy_;
+};
+
+}  // namespace ones::core

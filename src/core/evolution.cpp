@@ -1,0 +1,510 @@
+#include "core/evolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/expect.hpp"
+
+namespace ones::core {
+
+const sched::JobView& EvolutionContext::view(JobId job) const {
+  auto it = by_id.find(job);
+  ONES_EXPECT_MSG(it != by_id.end(), "candidate references a job outside the state");
+  return *it->second;
+}
+
+double EvolutionContext::expected_remaining(const sched::JobView& job) const {
+  auto it = yrem_cache.find(job.spec.id);
+  if (it != yrem_cache.end()) return it->second;
+  const double y = predictor != nullptr ? predictor->expected_remaining_samples(job)
+                                        : job.dataset_size();
+  yrem_cache.emplace(job.spec.id, y);
+  return y;
+}
+
+EvolutionContext make_context(const sched::ClusterState& state,
+                              const predict::ProgressPredictor* predictor,
+                              const BatchLimitManager* limits) {
+  EvolutionContext ctx;
+  ctx.state = &state;
+  ctx.predictor = predictor;
+  ctx.limits = limits;
+  for (const sched::JobView* j : state.jobs) ctx.by_id.emplace(j->spec.id, j);
+  return ctx;
+}
+
+Evolution::Evolution(const EvolutionConfig& config) : config_(config), rng_(config.seed) {}
+
+std::size_t Evolution::population_size(const EvolutionContext& ctx) const {
+  if (config_.population_size > 0) return config_.population_size;
+  return static_cast<std::size_t>(ctx.state->topology->total_gpus());
+}
+
+int Evolution::start_batch(const sched::JobView& job, const EvolutionContext& ctx) const {
+  const int r = effective_limit(job, ctx);
+  return std::max(1, std::min(r, job.profile->max_local_batch));
+}
+
+double Evolution::remaining_samples(const sched::JobView& job, const EvolutionContext& ctx,
+                                    double rho) const {
+  (void)ctx;
+  // One-epoch floor: a job that has processed nothing would otherwise have
+  // Y_processed * (1/rho - 1) == 0 and be invisible to the objective.
+  const double y_proc = std::max(job.samples_processed, job.dataset_size());
+  rho = std::clamp(rho, 1e-3, 1.0 - 1e-3);
+  return y_proc * (1.0 / rho - 1.0);
+}
+
+int Evolution::effective_limit(const sched::JobView& job,
+                               const EvolutionContext& ctx) const {
+  int r = ctx.limits->limit(job);
+  if (job.status == sched::JobStatus::Running && job.global_batch > 0) {
+    // Gradual-scaling rule: at most one doubling per re-configuration.
+    r = std::min(r, 2 * job.global_batch);
+  }
+  return std::max(r, 1);
+}
+
+RhoMap Evolution::sample_rho(const EvolutionContext& ctx) {
+  RhoMap rho;
+  for (const sched::JobView* j : ctx.state->jobs) {
+    if (j->status == sched::JobStatus::Completed) continue;
+    if (ctx.predictor != nullptr) {
+      const auto dist = ctx.predictor->predict(*j);
+      rho[j->spec.id] = std::clamp(dist.sample(rng_), 1e-3, 1.0 - 1e-3);
+    } else {
+      rho[j->spec.id] = 0.5;  // predictor ablation: uninformed midpoint
+    }
+  }
+  return rho;
+}
+
+RhoMap Evolution::mean_rho(const EvolutionContext& ctx) const {
+  RhoMap rho;
+  for (const sched::JobView* j : ctx.state->jobs) {
+    if (j->status == sched::JobStatus::Completed) continue;
+    if (ctx.predictor != nullptr) {
+      rho[j->spec.id] = std::clamp(ctx.predictor->predict(*j).mean(), 1e-3, 1.0 - 1e-3);
+    } else {
+      rho[j->spec.id] = 0.5;
+    }
+  }
+  return rho;
+}
+
+double Evolution::score(const cluster::Assignment& candidate, const EvolutionContext& ctx,
+                        const RhoMap& rho) const {
+  // Eq. 8: sum_j  Y_processed_j * c_j / X_j * (1/rho_j - 1)
+  //       = sum_j  Y_remaining_j * c_j / X_j  =  sum_j  T_j * c_j  (SRUF).
+  double total = 0.0;
+  for (JobId j : candidate.running_jobs()) {
+    const auto& v = ctx.view(j);
+    const double x = ctx.state->oracle->estimate_placed_sps(v, candidate);
+    auto it = rho.find(j);
+    const double r = it != rho.end() ? it->second : 0.5;
+    total += remaining_samples(v, ctx, r) * static_cast<double>(candidate.gpu_count(j)) / x;
+  }
+  // Switching surcharge relative to the live schedule: re-configuring or
+  // preempting running jobs is not free, so a challenger must beat the
+  // incumbent by at least the cost of deploying it.
+  const cluster::Assignment& live = *ctx.state->current;
+  for (JobId j : candidate.running_jobs()) {
+    const auto& v = ctx.view(j);
+    if (v.status != sched::JobStatus::Running) continue;  // resume charged below
+    bool changed = false;
+    for (int g = 0; g < live.num_gpus(); ++g) {
+      const auto& a = live.slot(g);
+      const auto& b = candidate.slot(g);
+      const bool a_mine = a.job == j;
+      const bool b_mine = b.job == j;
+      if (a_mine != b_mine || (a_mine && a.local_batch != b.local_batch)) {
+        changed = true;
+        break;
+      }
+    }
+    if (changed) {
+      total += config_.switch_penalty_s * static_cast<double>(candidate.gpu_count(j));
+    }
+  }
+  for (JobId j : live.running_jobs()) {
+    if (candidate.gpu_count(j) == 0) {
+      total += config_.preempt_penalty_s * static_cast<double>(live.gpu_count(j));
+    }
+  }
+  return total;
+}
+
+void Evolution::clamp_job(cluster::Assignment& candidate, JobId job,
+                          const EvolutionContext& ctx) {
+  auto gpus = candidate.gpus_of(job);
+  if (gpus.empty()) return;
+  const auto& v = ctx.view(job);
+  const int r_limit = effective_limit(v, ctx);
+  const bool warm = ctx.limits->warmed_up(v);
+
+  int target_c = static_cast<int>(gpus.size());
+  if (!warm) target_c = 1;                       // Start policy: one GPU
+  target_c = std::min(target_c, r_limit);        // every worker needs a sample
+  target_c = std::max(target_c, 1);
+  while (static_cast<int>(gpus.size()) > target_c) {
+    candidate.clear(gpus.back());
+    gpus.pop_back();
+  }
+
+  const int max_b = std::min(r_limit, target_c * v.profile->max_local_batch);
+  int b = std::clamp(candidate.global_batch(job), target_c, max_b);
+  // Even re-split (repairs crossover children with lopsided inherited genes).
+  const int base = b / target_c;
+  const int rem = b % target_c;
+  for (int i = 0; i < target_c; ++i) {
+    candidate.place(gpus[static_cast<std::size_t>(i)], job, base + (i < rem ? 1 : 0));
+  }
+}
+
+void Evolution::repair(cluster::Assignment& candidate, const EvolutionContext& ctx) {
+  for (JobId j : candidate.running_jobs()) {
+    auto it = ctx.by_id.find(j);
+    if (it == ctx.by_id.end() || it->second->status == sched::JobStatus::Completed) {
+      candidate.evict(j);
+    }
+  }
+  for (JobId j : candidate.running_jobs()) {
+    clamp_job(candidate, j, ctx);
+  }
+}
+
+void Evolution::fill_idle(cluster::Assignment& candidate, const EvolutionContext& ctx) {
+  struct Action {
+    bool resume = false;
+    JobId job = kInvalidJob;
+  };
+
+  for (;;) {
+    const auto idle = candidate.idle_gpus();
+    if (idle.empty()) return;
+
+    std::vector<Action> actions;
+    std::vector<double> weights;
+
+    // Resume options: active jobs absent from this candidate start on one GPU.
+    for (const sched::JobView* v : ctx.state->jobs) {
+      if (v->status == sched::JobStatus::Completed) continue;
+      if (candidate.gpu_count(v->spec.id) > 0) continue;
+      const double y = ctx.expected_remaining(*v);
+      actions.push_back({true, v->spec.id});
+      weights.push_back(std::max(y, 1.0));
+    }
+
+    // Scale-up options: running jobs whose limit R still allows more batch,
+    // gaining floor(R*c/B) - c more GPUs (Figure 7's utilization-gain
+    // sampling).
+    for (JobId j : candidate.running_jobs()) {
+      const auto& v = ctx.view(j);
+      if (!ctx.limits->warmed_up(v)) continue;
+      const int r_limit = effective_limit(v, ctx);
+      const int b = candidate.global_batch(j);
+      const int c = candidate.gpu_count(j);
+      if (b >= r_limit) continue;
+      const int local = std::max(1, b / c);
+      const int target_c =
+          std::min(static_cast<int>(r_limit / local), c + static_cast<int>(idle.size()));
+      if (target_c <= c) continue;
+      const int b2 = std::min(r_limit, local * target_c);
+
+      const double y = ctx.expected_remaining(v);
+      const double x1 = ctx.state->oracle->estimate_placed_sps(v, candidate);
+      const double x2 = ctx.state->oracle->estimate_sps(
+          v, target_c, b2, ctx.state->oracle->can_colocate(target_c));
+      const double gain = std::max(y, 1.0) * (static_cast<double>(c) / x1 -
+                                              static_cast<double>(target_c) / x2);
+      actions.push_back({false, j});
+      weights.push_back(std::max(gain, 1e-6));
+    }
+
+    // Spread options: when batch limits bind, idle GPUs can still speed a
+    // job up by spreading its (fixed) batch over more workers — idle GPUs
+    // have no opportunity cost, and Eq. 4 wants the cluster saturated.
+    for (JobId j : candidate.running_jobs()) {
+      const auto& v = ctx.view(j);
+      if (!ctx.limits->warmed_up(v)) continue;
+      const int b = candidate.global_batch(j);
+      const int c = candidate.gpu_count(j);
+      const int target_c = std::min({2 * c, b, c + static_cast<int>(idle.size())});
+      if (target_c <= c) continue;
+      const double x1 = ctx.state->oracle->estimate_placed_sps(v, candidate);
+      const double x2 = ctx.state->oracle->estimate_sps(
+          v, target_c, b, ctx.state->oracle->can_colocate(target_c));
+      if (x2 <= x1 * 1.02) continue;  // not worth the extra workers
+      const double y = ctx.expected_remaining(v);
+      const double gain = std::max(y, 1.0) * (1.0 / x1 - 1.0 / x2);
+      actions.push_back({false, j});
+      weights.push_back(std::max(gain, 1e-6));
+    }
+
+    if (actions.empty()) return;  // nothing can use the idle GPUs
+    const Action act = actions[rng_.weighted_index(weights)];
+
+    if (act.resume) {
+      const auto& v = ctx.view(act.job);
+      candidate.place(idle.front(), act.job, start_batch(v, ctx));
+    } else {
+      const auto& v = ctx.view(act.job);
+      const int r_limit = effective_limit(v, ctx);
+      const int b = candidate.global_batch(act.job);
+      const int c = candidate.gpu_count(act.job);
+      const int local = std::max(1, b / c);
+      // Grow the worker set: up to the batch-limit headroom (grow-batch
+      // action) or up to 2x workers at the same batch (spread action) —
+      // whichever the idle pool allows.
+      const int grow_c = std::max(static_cast<int>(r_limit / local), std::min(2 * c, b));
+      const int target_c = std::min(grow_c, c + static_cast<int>(idle.size()));
+      if (target_c <= c) continue;
+      for (int k = 0; k < target_c - c; ++k) {
+        candidate.place(idle[static_cast<std::size_t>(k)], act.job, 1);
+      }
+      // Raise the batch toward the limit with the new worker count, then
+      // re-split evenly (clamp_job also enforces memory limits).
+      auto gpus = candidate.gpus_of(act.job);
+      const int b2 = std::clamp(
+          std::min(r_limit, local * static_cast<int>(gpus.size())),
+          static_cast<int>(gpus.size()),
+          static_cast<int>(gpus.size()) * v.profile->max_local_batch);
+      const int base = b2 / static_cast<int>(gpus.size());
+      const int rem = b2 % static_cast<int>(gpus.size());
+      for (std::size_t i = 0; i < gpus.size(); ++i) {
+        candidate.place(gpus[i], act.job, base + (static_cast<int>(i) < rem ? 1 : 0));
+      }
+      clamp_job(candidate, act.job, ctx);
+    }
+  }
+}
+
+void Evolution::refresh(cluster::Assignment& candidate, const EvolutionContext& ctx) {
+  // (1) Clean up GPUs of completed (or unknown) jobs.
+  for (JobId j : candidate.running_jobs()) {
+    auto it = ctx.by_id.find(j);
+    if (it == ctx.by_id.end() || it->second->status == sched::JobStatus::Completed) {
+      candidate.evict(j);
+    }
+  }
+
+  // (2) Scale down any job whose batch exceeds its current limit R:
+  //     drop to floor(R*c/B) GPUs and batch R (paper's rule), then clamp.
+  for (JobId j : candidate.running_jobs()) {
+    const auto& v = ctx.view(j);
+    const int r_limit = effective_limit(v, ctx);
+    const int b = candidate.global_batch(j);
+    if (r_limit < b) {
+      const int c = candidate.gpu_count(j);
+      const int target_c =
+          std::max(1, static_cast<int>(static_cast<std::int64_t>(r_limit) * c / b));
+      auto gpus = candidate.gpus_of(j);
+      while (static_cast<int>(gpus.size()) > target_c) {
+        candidate.clear(gpus.back());
+        gpus.pop_back();
+      }
+      const int base = std::max(r_limit, target_c) / target_c;
+      for (std::size_t i = 0; i < gpus.size(); ++i) candidate.place(gpus[i], j, base);
+    }
+    clamp_job(candidate, j, ctx);
+  }
+
+  // (3) Preferential allocation of newly arrived jobs (never ran, absent
+  //     from this candidate): one GPU each; if the candidate lacks idle
+  //     GPUs, take them from the jobs with the largest executed time.
+  std::vector<const sched::JobView*> fresh;
+  for (const sched::JobView* v : ctx.state->jobs) {
+    if (v->status == sched::JobStatus::Completed) continue;
+    if (v->samples_processed > 0.0) continue;
+    if (v->epochs_completed > 0) continue;
+    if (candidate.gpu_count(v->spec.id) > 0) continue;
+    fresh.push_back(v);
+  }
+  const int want = std::min<int>(static_cast<int>(fresh.size()), candidate.num_gpus());
+  while (candidate.idle_count() < want) {
+    // Victim: the candidate job with the largest T_processed.
+    JobId victim = kInvalidJob;
+    double max_exec = -1.0;
+    for (JobId j : candidate.running_jobs()) {
+      const auto& v = ctx.view(j);
+      if (v.exec_time_s > max_exec) {
+        max_exec = v.exec_time_s;
+        victim = j;
+      }
+    }
+    if (victim == kInvalidJob) break;
+    auto gpus = candidate.gpus_of(victim);
+    candidate.clear(gpus.back());
+    if (gpus.size() > 1) clamp_job(candidate, victim, ctx);
+  }
+  {
+    auto idle = candidate.idle_gpus();
+    std::size_t next = 0;
+    for (const sched::JobView* v : fresh) {
+      if (next >= idle.size()) break;
+      candidate.place(idle[next++], v->spec.id, start_batch(*v, ctx));
+    }
+  }
+
+  // (4) Fill any remaining idle GPUs (Figure 7).
+  fill_idle(candidate, ctx);
+}
+
+std::pair<cluster::Assignment, cluster::Assignment> Evolution::crossover(
+    const cluster::Assignment& a, const cluster::Assignment& b) {
+  ONES_EXPECT(a.num_gpus() == b.num_gpus());
+  cluster::Assignment c1(a.num_gpus()), c2(a.num_gpus());
+  for (int g = 0; g < a.num_gpus(); ++g) {
+    const auto& sa = a.slot(g);
+    const auto& sb = b.slot(g);
+    const bool flip = rng_.bernoulli(0.5);
+    const auto& first = flip ? sb : sa;
+    const auto& second = flip ? sa : sb;
+    if (first.occupied()) c1.place(g, first.job, first.local_batch);
+    if (second.occupied()) c2.place(g, second.job, second.local_batch);
+  }
+  return {std::move(c1), std::move(c2)};
+}
+
+void Evolution::mutate(cluster::Assignment& candidate, const EvolutionContext& ctx) {
+  for (JobId j : candidate.running_jobs()) {
+    if (rng_.bernoulli(config_.mutation_rate)) {
+      candidate.evict(j);
+    }
+  }
+  fill_idle(candidate, ctx);
+}
+
+cluster::Assignment Evolution::reorder(const cluster::Assignment& candidate) {
+  cluster::Assignment packed(candidate.num_gpus());
+  int next = 0;
+  for (JobId j : candidate.running_jobs()) {  // first-occurrence order
+    for (GpuId g : candidate.gpus_of(j)) {
+      packed.place(next++, j, candidate.slot(g).local_batch);
+    }
+  }
+  return packed;
+}
+
+void Evolution::ensure_population(const EvolutionContext& ctx) {
+  const std::size_t k = population_size(ctx);
+  const int n = ctx.state->topology->total_gpus();
+  if (!population_.empty() && population_.front().num_gpus() == n &&
+      population_.size() == k) {
+    return;
+  }
+  population_.clear();
+  population_.reserve(k);
+  std::vector<const sched::JobView*> active;
+  for (const sched::JobView* v : ctx.state->jobs) {
+    if (v->status != sched::JobStatus::Completed) active.push_back(v);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    cluster::Assignment cand(n);
+    if (!active.empty()) {
+      // The paper's simple initialization: a random job on each GPU.
+      for (int g = 0; g < n; ++g) {
+        const auto* v = active[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(active.size()) - 1))];
+        cand.place(g, v->spec.id, 1);
+      }
+      repair(cand, ctx);
+    }
+    refresh(cand, ctx);
+    population_.push_back(std::move(cand));
+  }
+}
+
+void Evolution::step(const EvolutionContext& ctx) {
+  ensure_population(ctx);
+  const std::size_t k = population_size(ctx);
+
+  // Refresh the whole population against real-time status (elitism: the
+  // refreshed originals compete with their offspring).
+  for (auto& cand : population_) {
+    refresh(cand, ctx);
+    if (config_.use_reorder) cand = reorder(cand);
+  }
+
+  std::vector<cluster::Assignment> cands = population_;
+  cands.reserve(4 * k + 1);
+
+  // The incumbent (live schedule) always competes: unless a challenger beats
+  // it including switching costs, ONES keeps the cluster undisturbed.
+  {
+    cluster::Assignment incumbent = *ctx.state->current;
+    repair(incumbent, ctx);
+    fill_idle(incumbent, ctx);
+    cands.push_back(std::move(incumbent));
+  }
+
+  if (config_.use_crossover && population_.size() >= 2) {
+    const auto pick = [&] {
+      return static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(population_.size()) - 1));
+    };
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t a = pick(), b = pick();
+      if (a == b) b = (b + 1) % population_.size();
+      auto [c1, c2] = crossover(population_[a], population_[b]);
+      repair(c1, ctx);
+      fill_idle(c1, ctx);
+      repair(c2, ctx);
+      fill_idle(c2, ctx);
+      if (config_.use_reorder) {
+        c1 = reorder(c1);
+        c2 = reorder(c2);
+      }
+      cands.push_back(std::move(c1));
+      cands.push_back(std::move(c2));
+    }
+  }
+
+  if (config_.use_mutation && !population_.empty()) {
+    for (std::size_t i = 0; i < k; ++i) {
+      cluster::Assignment m = population_[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(population_.size()) - 1))];
+      mutate(m, ctx);
+      repair(m, ctx);
+      fill_idle(m, ctx);
+      if (config_.use_reorder) m = reorder(m);
+      cands.push_back(std::move(m));
+    }
+  }
+
+  // Selection: score every candidate under one rho draw (Algorithm 1) and
+  // keep the best K.
+  const RhoMap rho = sample_rho(ctx);
+  std::vector<double> scores(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) scores[i] = score(cands[i], ctx, rho);
+  std::vector<std::size_t> order(cands.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  std::vector<cluster::Assignment> next;
+  next.reserve(k);
+  for (std::size_t i = 0; i < order.size() && next.size() < k; ++i) {
+    next.push_back(std::move(cands[order[i]]));
+  }
+  population_ = std::move(next);
+}
+
+cluster::Assignment Evolution::best(const EvolutionContext& ctx) {
+  ensure_population(ctx);
+  for (auto& cand : population_) refresh(cand, ctx);
+  const RhoMap rho = mean_rho(ctx);
+  std::size_t best_i = 0;
+  double best_s = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    const double s = score(population_[i], ctx, rho);
+    if (s < best_s) {
+      best_s = s;
+      best_i = i;
+    }
+  }
+  return population_[best_i];
+}
+
+}  // namespace ones::core

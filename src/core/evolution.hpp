@@ -1,0 +1,140 @@
+// Online evolutionary search over cluster schedules (paper §3.2, Figure 5).
+//
+// The search maintains a population of candidate Assignments (genomes,
+// Figure 1). Each iteration:
+//   1. *refresh* synchronizes every candidate with real-time job status
+//      (clears completed jobs, enforces the batch limits R, gives newly
+//      arrived jobs preferential 1-GPU allocations, and fills idle GPUs by
+//      probability sampling — Figure 7),
+//   2. *uniform crossover* recombines K random parent pairs GPU-by-GPU
+//      (Figure 8),
+//   3. *uniform mutation* preempts each job of K random candidates with
+//      probability theta and refills the freed GPUs (Figure 9),
+//   4. *reorder* packs each job's workers contiguously to repair the poor
+//      placement the random operators produce (Figure 10),
+//   5. candidates are scored by the SRUF objective (Eq. 3/8) under one draw
+//      of the predicted progress distributions (Algorithm 1), and the best
+//      K survive.
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/assignment.hpp"
+#include "common/rng.hpp"
+#include "core/batch_policy.hpp"
+#include "predict/progress_predictor.hpp"
+#include "sched/oracle.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ones::core {
+
+struct EvolutionConfig {
+  /// Population size K; 0 = cluster size (the paper's suggestion).
+  std::size_t population_size = 0;
+  /// Mutation rate theta: per-job preemption probability.
+  double mutation_rate = 0.2;
+  /// Evolution iterations executed per scheduler event.
+  int rounds_per_event = 1;
+  // Operator ablation switches (all on = the paper's algorithm).
+  bool use_crossover = true;
+  bool use_mutation = true;
+  bool use_reorder = true;
+  /// Score surcharge (GPU-seconds) for re-configuring a running job relative
+  /// to the live schedule — reconfiguration is not free (§3.2.2 "Update"),
+  /// so candidates must beat the incumbent by at least the switching cost.
+  double switch_penalty_s = 15.0;
+  /// Score surcharge for preempting a running job (losing its warm state).
+  double preempt_penalty_s = 600.0;
+  std::uint64_t seed = 99;
+};
+
+/// Per-event context: live cluster state plus ONES's predictor and limits.
+struct EvolutionContext {
+  const sched::ClusterState* state = nullptr;
+  /// nullptr = predictor ablation (constant rho = 1/2).
+  const predict::ProgressPredictor* predictor = nullptr;
+  const BatchLimitManager* limits = nullptr;
+  /// JobId -> view lookup (avoids linear scans in the hot scoring loop).
+  std::unordered_map<JobId, const sched::JobView*> by_id;
+  /// Lazily-filled cache of expected remaining workloads (the predictor's
+  /// Beta math is too costly to repeat per fill-loop iteration).
+  mutable std::unordered_map<JobId, double> yrem_cache;
+
+  const sched::JobView& view(JobId job) const;
+  /// Expected remaining samples of a job (predictor mean, or one dataset
+  /// pass when the predictor is ablated), cached per event.
+  double expected_remaining(const sched::JobView& job) const;
+};
+
+/// Build the lookup map for a state snapshot.
+EvolutionContext make_context(const sched::ClusterState& state,
+                              const predict::ProgressPredictor* predictor,
+                              const BatchLimitManager* limits);
+
+using RhoMap = std::unordered_map<JobId, double>;
+
+class Evolution {
+ public:
+  explicit Evolution(const EvolutionConfig& config);
+
+  /// Drop the population (used when the cluster size changes).
+  void reset() { population_.clear(); }
+
+  /// One full evolution iteration: refresh -> operators -> select.
+  void step(const EvolutionContext& ctx);
+
+  /// Best candidate of the current population under a fresh rho draw
+  /// (runs ensure_population first, so it is always callable).
+  cluster::Assignment best(const EvolutionContext& ctx);
+
+  const std::vector<cluster::Assignment>& population() const { return population_; }
+
+  // ---- individual pieces (public for unit tests and benchmarks) ----
+  void ensure_population(const EvolutionContext& ctx);
+  void refresh(cluster::Assignment& candidate, const EvolutionContext& ctx);
+  std::pair<cluster::Assignment, cluster::Assignment> crossover(
+      const cluster::Assignment& a, const cluster::Assignment& b);
+  void mutate(cluster::Assignment& candidate, const EvolutionContext& ctx);
+  static cluster::Assignment reorder(const cluster::Assignment& candidate);
+  /// Enforce feasibility: known jobs only, warm-up single-GPU rule, B <= R,
+  /// per-GPU memory limits, even batch splits.
+  void repair(cluster::Assignment& candidate, const EvolutionContext& ctx);
+  /// SRUF score (Eq. 8); lower is better.
+  double score(const cluster::Assignment& candidate, const EvolutionContext& ctx,
+               const RhoMap& rho) const;
+  /// Algorithm 1, lines 1-3: one progress draw per active job.
+  RhoMap sample_rho(const EvolutionContext& ctx);
+
+  /// Deterministic rho at the distribution mean. Deployment decisions use
+  /// this (stable incumbent-vs-challenger comparison); the stochastic draws
+  /// drive exploration inside the evolution loop.
+  RhoMap mean_rho(const EvolutionContext& ctx) const;
+
+  /// Predicted remaining workload Y_j (Eq. 7) with a one-epoch floor for
+  /// cold jobs (Y_processed = 0 would otherwise make them weightless).
+  double remaining_samples(const sched::JobView& job, const EvolutionContext& ctx,
+                           double rho) const;
+
+  /// Effective batch limit: the policy limit R further capped at twice the
+  /// job's *live* batch — §3.3.2's "scaled within a limited range at each
+  /// time" rule that prevents the Fig 13 loss spike.
+  int effective_limit(const sched::JobView& job, const EvolutionContext& ctx) const;
+
+ private:
+  std::size_t population_size(const EvolutionContext& ctx) const;
+  /// Fill idle GPUs by probability sampling over resume / scale-up actions
+  /// (Figure 7).
+  void fill_idle(cluster::Assignment& candidate, const EvolutionContext& ctx);
+  /// Scale a job in-place so that B <= limit, keeping local batches even.
+  void clamp_job(cluster::Assignment& candidate, JobId job,
+                 const EvolutionContext& ctx);
+  int start_batch(const sched::JobView& job, const EvolutionContext& ctx) const;
+
+  EvolutionConfig config_;
+  Rng rng_;
+  std::vector<cluster::Assignment> population_;
+};
+
+}  // namespace ones::core

@@ -1,0 +1,108 @@
+#include "core/ones_scheduler.hpp"
+
+#include "common/expect.hpp"
+
+namespace ones::core {
+
+OnesScheduler::OnesScheduler(const OnesConfig& config)
+    : config_(config),
+      predictor_(config.predictor),
+      limits_(config.policy),
+      evolution_(config.evolution) {}
+
+bool OnesScheduler::update_condition(const sched::ClusterState& state,
+                                     const sched::SchedulerEvent& event) const {
+  // Immediate response to workload changes: freed GPUs (completion) and new
+  // jobs must not wait for the per-epoch pacing (§2.1's critique of
+  // interval-based schedulers).
+  if (event.kind == sched::EventKind::JobComplete ||
+      event.kind == sched::EventKind::JobArrival) {
+    return true;
+  }
+  if (state.current->idle_count() > 0 && !state.waiting_jobs().empty()) {
+    return true;
+  }
+  // Pacing rule (§3.2.2 "Update"): every running job must have completed at
+  // least one epoch since the last deployed schedule.
+  for (const sched::JobView* v : state.running_jobs()) {
+    auto it = epochs_at_deploy_.find(v->spec.id);
+    if (it != epochs_at_deploy_.end() && v->epochs_completed <= it->second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void OnesScheduler::note_deployed(const sched::ClusterState& state,
+                                  const cluster::Assignment& next) {
+  epochs_at_deploy_.clear();
+  for (JobId j : next.running_jobs()) {
+    const sched::JobView* v = state.job(j);
+    ONES_EXPECT(v != nullptr);
+    epochs_at_deploy_.emplace(j, v->epochs_completed);
+  }
+}
+
+std::optional<cluster::Assignment> OnesScheduler::on_event(
+    const sched::ClusterState& state, const sched::SchedulerEvent& event) {
+  // Bookkeeping for the policy state machines (§3.3.2) and the predictor.
+  switch (event.kind) {
+    case sched::EventKind::JobArrival: {
+      const sched::JobView* v = state.job(event.job);
+      ONES_EXPECT(v != nullptr);
+      limits_.on_job_arrival(*v, state.now);
+      break;
+    }
+    case sched::EventKind::EpochComplete: {
+      const sched::JobView* v = state.job(event.job);
+      ONES_EXPECT(v != nullptr);
+      limits_.on_epoch_complete(*v);
+      break;
+    }
+    case sched::EventKind::JobComplete: {
+      const sched::JobView* v = state.job(event.job);
+      ONES_EXPECT(v != nullptr);
+      // Aborted jobs never converged; their truncated histories would teach
+      // the predictor wrong totals (§2.1's abnormal-ending pitfall).
+      if (config_.use_predictor && !v->aborted) predictor_.observe_completed_job(*v);
+      limits_.on_completed(event.job);
+      break;
+    }
+    case sched::EventKind::Timer:
+      break;
+  }
+
+  const EvolutionContext ctx = make_context(
+      state, config_.use_predictor ? &predictor_ : nullptr, &limits_);
+  for (int r = 0; r < config_.evolution.rounds_per_event; ++r) {
+    evolution_.step(ctx);
+    ++rounds_;
+  }
+
+  if (!update_condition(state, event)) return std::nullopt;
+
+  cluster::Assignment best = evolution_.best(ctx);
+  if (best == *state.current) return std::nullopt;
+
+  // Resume / preemption policy bookkeeping against the schedule we are about
+  // to deploy.
+  for (JobId j : state.current->running_jobs()) {
+    if (best.gpu_count(j) == 0) {
+      const sched::JobView* v = state.job(j);
+      ONES_EXPECT(v != nullptr);
+      if (v->status != sched::JobStatus::Completed) {
+        limits_.on_preempted(*v, state.current->global_batch(j));
+      }
+    }
+  }
+  for (const sched::JobView* v : state.waiting_jobs()) {
+    if (best.gpu_count(v->spec.id) == 0) {
+      limits_.on_left_waiting(*v);  // asked for service, still waiting
+    }
+  }
+
+  note_deployed(state, best);
+  return best;
+}
+
+}  // namespace ones::core

@@ -1,0 +1,134 @@
+#include "drl/mlp.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace ones::drl {
+
+Mlp::Mlp(const std::vector<int>& layer_sizes, std::uint64_t seed)
+    : layer_sizes_(layer_sizes) {
+  ONES_EXPECT_MSG(layer_sizes.size() >= 2, "need at least input and output layers");
+  Rng rng(seed);
+  for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    Layer layer;
+    layer.in = layer_sizes[i];
+    layer.out = layer_sizes[i + 1];
+    ONES_EXPECT(layer.in > 0 && layer.out > 0);
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in + layer.out));
+    layer.w.resize(static_cast<std::size_t>(layer.in) * layer.out);
+    for (auto& v : layer.w) v = rng.normal(0.0, scale);
+    layer.b.assign(static_cast<std::size_t>(layer.out), 0.0);
+    layer.gw.assign(layer.w.size(), 0.0);
+    layer.gb.assign(layer.b.size(), 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& input) const {
+  ONES_EXPECT(static_cast<int>(input.size()) == input_dim());
+  std::vector<double> act = input;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    std::vector<double> next(static_cast<std::size_t>(layer.out));
+    for (int o = 0; o < layer.out; ++o) {
+      double z = layer.b[static_cast<std::size_t>(o)];
+      for (int i = 0; i < layer.in; ++i) {
+        z += layer.w[static_cast<std::size_t>(o) * layer.in + i] * act[static_cast<std::size_t>(i)];
+      }
+      // tanh on hidden layers, identity on the output layer.
+      next[static_cast<std::size_t>(o)] = (li + 1 < layers_.size()) ? std::tanh(z) : z;
+    }
+    act = std::move(next);
+  }
+  return act;
+}
+
+void Mlp::accumulate_gradient(const std::vector<double>& input,
+                              const std::vector<double>& out_grad, double scale) {
+  ONES_EXPECT(static_cast<int>(input.size()) == input_dim());
+  ONES_EXPECT(static_cast<int>(out_grad.size()) == output_dim());
+
+  // Forward pass, caching activations.
+  std::vector<std::vector<double>> acts;  // acts[0] = input, acts[L] = output
+  acts.push_back(input);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    std::vector<double> next(static_cast<std::size_t>(layer.out));
+    for (int o = 0; o < layer.out; ++o) {
+      double z = layer.b[static_cast<std::size_t>(o)];
+      for (int i = 0; i < layer.in; ++i) {
+        z += layer.w[static_cast<std::size_t>(o) * layer.in + i] *
+             acts.back()[static_cast<std::size_t>(i)];
+      }
+      next[static_cast<std::size_t>(o)] = (li + 1 < layers_.size()) ? std::tanh(z) : z;
+    }
+    acts.push_back(std::move(next));
+  }
+
+  // Backward pass.
+  std::vector<double> delta(out_grad.size());
+  for (std::size_t o = 0; o < out_grad.size(); ++o) delta[o] = out_grad[o] * scale;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    const std::vector<double>& in_act = acts[li];
+    const std::vector<double>& out_act = acts[li + 1];
+    // For hidden layers out_act = tanh(z); d tanh = 1 - tanh^2.
+    std::vector<double> dz(delta.size());
+    for (std::size_t o = 0; o < delta.size(); ++o) {
+      const double d_act = (li + 1 < layers_.size())
+                               ? 1.0 - out_act[o] * out_act[o]
+                               : 1.0;
+      dz[o] = delta[o] * d_act;
+    }
+    for (int o = 0; o < layer.out; ++o) {
+      layer.gb[static_cast<std::size_t>(o)] += dz[static_cast<std::size_t>(o)];
+      for (int i = 0; i < layer.in; ++i) {
+        layer.gw[static_cast<std::size_t>(o) * layer.in + i] +=
+            dz[static_cast<std::size_t>(o)] * in_act[static_cast<std::size_t>(i)];
+      }
+    }
+    if (li == 0) break;
+    std::vector<double> prev(static_cast<std::size_t>(layer.in), 0.0);
+    for (int i = 0; i < layer.in; ++i) {
+      double s = 0.0;
+      for (int o = 0; o < layer.out; ++o) {
+        s += layer.w[static_cast<std::size_t>(o) * layer.in + i] * dz[static_cast<std::size_t>(o)];
+      }
+      prev[static_cast<std::size_t>(i)] = s;
+    }
+    delta = std::move(prev);
+  }
+}
+
+void Mlp::apply_gradient(double lr) {
+  for (Layer& layer : layers_) {
+    for (std::size_t i = 0; i < layer.w.size(); ++i) layer.w[i] += lr * layer.gw[i];
+    for (std::size_t i = 0; i < layer.b.size(); ++i) layer.b[i] += lr * layer.gb[i];
+  }
+  zero_gradient();
+}
+
+void Mlp::zero_gradient() {
+  for (Layer& layer : layers_) {
+    std::fill(layer.gw.begin(), layer.gw.end(), 0.0);
+    std::fill(layer.gb.begin(), layer.gb.end(), 0.0);
+  }
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const Layer& layer : layers_) n += layer.w.size() + layer.b.size();
+  return n;
+}
+
+double Mlp::gradient_norm() const {
+  double s = 0.0;
+  for (const Layer& layer : layers_) {
+    for (double g : layer.gw) s += g * g;
+    for (double g : layer.gb) s += g * g;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace ones::drl

@@ -1,0 +1,56 @@
+// Minimal multi-layer perceptron with manual backpropagation.
+//
+// The DRL baseline's policy network scores candidate scheduling actions; we
+// implement the network from scratch (tanh hidden layers, scalar linear
+// output) with explicit gradient accumulation so REINFORCE can combine
+// per-action gradients into a log-softmax policy gradient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ones::drl {
+
+class Mlp {
+ public:
+  /// layer_sizes = {input, hidden..., output}; e.g. {8, 16, 16, 1}.
+  Mlp(const std::vector<int>& layer_sizes, std::uint64_t seed);
+
+  int input_dim() const { return layer_sizes_.front(); }
+  int output_dim() const { return layer_sizes_.back(); }
+
+  /// Forward pass; returns the outputs (no activation on the last layer).
+  std::vector<double> forward(const std::vector<double>& input) const;
+
+  /// Forward + backward: accumulate d(output . out_grad)/d(params) into the
+  /// internal gradient buffer, scaled by `scale`.
+  void accumulate_gradient(const std::vector<double>& input,
+                           const std::vector<double>& out_grad, double scale);
+
+  /// SGD step: params += lr * accumulated_gradient (gradient *ascent*; pass
+  /// a negative lr for descent), then clear the buffer.
+  void apply_gradient(double lr);
+
+  void zero_gradient();
+
+  /// Flat parameter count (for tests).
+  std::size_t parameter_count() const;
+
+  /// L2 norm of the accumulated gradient (for tests / diagnostics).
+  double gradient_norm() const;
+
+ private:
+  struct Layer {
+    int in = 0, out = 0;
+    std::vector<double> w;       ///< out x in, row-major
+    std::vector<double> b;       ///< out
+    std::vector<double> gw, gb;  ///< gradient accumulators
+  };
+
+  std::vector<int> layer_sizes_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace ones::drl

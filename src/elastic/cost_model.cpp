@@ -1,0 +1,40 @@
+#include "elastic/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace ones::elastic {
+
+double ScalingCostModel::elastic_cost_s(const model::TaskProfile& profile, int old_workers,
+                                        int new_workers,
+                                        const cluster::LinkProfile& link) const {
+  ONES_EXPECT(old_workers >= 1 && new_workers >= 1);
+  ONES_EXPECT(link.bandwidth_Bps > 0.0);
+  double cost = config_.pause_step_s + config_.resize_modules_s +
+                config_.resize_per_byte_s * profile.params_bytes +
+                config_.reconnect_base_s +
+                config_.reconnect_per_worker_s * static_cast<double>(new_workers);
+  if (new_workers > old_workers) {
+    // One broadcast of the parameters to the (already-initialized, Fig 12)
+    // new workers.
+    cost += profile.params_bytes / link.bandwidth_Bps;
+  }
+  return cost;
+}
+
+double ScalingCostModel::checkpoint_cost_s(const model::TaskProfile& profile,
+                                           int new_workers) const {
+  ONES_EXPECT(new_workers >= 1);
+  const double save = profile.params_bytes / config_.hdfs_bw_Bps;
+  const double load = profile.params_bytes / config_.hdfs_bw_Bps + config_.model_load_s;
+  return save + config_.scheduler_delay_s + config_.framework_init_s +
+         config_.data_pipeline_warmup_s + load;
+}
+
+double ScalingCostModel::cold_start_cost_s(const model::TaskProfile& profile) const {
+  return config_.framework_init_s + config_.data_pipeline_warmup_s * 0.5 +
+         profile.params_bytes / config_.hdfs_bw_Bps * 0.25;  // weights often cached
+}
+
+}  // namespace ones::elastic

@@ -1,0 +1,63 @@
+// Re-configuration cost models (paper §3.3.1 and §4.3 / Figure 16).
+//
+// Two mechanisms are compared:
+//
+//  * Elastic batch-size scaling (ONES): the scaling agent pauses the worker
+//    at the end of a training step, resizes the modules on the GPU,
+//    reconnects the NCCL topology and (when workers were added) broadcasts
+//    the parameters from one previous worker. New workers initialize in the
+//    background, overlapped with ongoing training (Fig 12), so their startup
+//    never blocks the job. Blocked time ~= 1 s.
+//
+//  * Checkpoint-based migration (the common practice, used by the Optimus /
+//    Tiresias style baselines): stop training, serialize the model to HDFS
+//    over 1 Gbps Ethernet, wait for the scheduler, restart the framework,
+//    re-warm the input pipeline and reload the model onto the GPUs.
+//    Blocked time ~= tens of seconds (Gu et al. report 20-40 s).
+#pragma once
+
+#include "cluster/topology.hpp"
+#include "model/task.hpp"
+
+namespace ones::elastic {
+
+struct CostConfig {
+  // ---- elastic scaling ----
+  double pause_step_s = 0.05;      ///< drain the in-flight training step
+  double resize_modules_s = 0.15;  ///< re-shape input tensors / buffers on GPU
+  double resize_per_byte_s = 2.5e-10;  ///< buffer reallocation scales with model
+  double reconnect_base_s = 0.25;  ///< NCCL communicator re-initialization
+  double reconnect_per_worker_s = 0.02;
+  // ---- checkpoint migration ----
+  double hdfs_bw_Bps = 125e6;          ///< 1 Gbps Ethernet to HDFS
+  double scheduler_delay_s = 5.0;      ///< queueing + container placement
+  double framework_init_s = 8.0;       ///< process start, CUDA context, imports
+  double data_pipeline_warmup_s = 8.0;  ///< input pipeline re-warm
+  double model_load_s = 2.0;            ///< deserialize + H2D copy
+};
+
+class ScalingCostModel {
+ public:
+  explicit ScalingCostModel(const CostConfig& config = {}) : config_(config) {}
+
+  const CostConfig& config() const { return config_; }
+
+  /// Seconds the job is *blocked* by an elastic re-configuration from
+  /// `old_workers` to `new_workers` GPUs. `link` is the slowest link of the
+  /// new worker set (parameter broadcast path).
+  double elastic_cost_s(const model::TaskProfile& profile, int old_workers,
+                        int new_workers, const cluster::LinkProfile& link) const;
+
+  /// Seconds the job is blocked by a checkpoint-based migration onto
+  /// `new_workers` GPUs (save + reschedule + restart + reload).
+  double checkpoint_cost_s(const model::TaskProfile& profile, int new_workers) const;
+
+  /// Cold-start cost of launching a job for the first time. Identical for
+  /// both mechanisms (the user script has to initialize either way).
+  double cold_start_cost_s(const model::TaskProfile& profile) const;
+
+ private:
+  CostConfig config_;
+};
+
+}  // namespace ones::elastic

@@ -1,0 +1,153 @@
+#include "elastic/protocol.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/expect.hpp"
+#include "model/throughput.hpp"
+
+namespace ones::elastic {
+
+const char* phase_name(WorkerPhase phase) {
+  switch (phase) {
+    case WorkerPhase::Idle: return "idle";
+    case WorkerPhase::Initializing: return "initializing";
+    case WorkerPhase::Training: return "training";
+    case WorkerPhase::Draining: return "draining";
+    case WorkerPhase::Reconnecting: return "reconnecting";
+    case WorkerPhase::Receiving: return "receiving";
+    case WorkerPhase::Running: return "running";
+  }
+  return "?";
+}
+
+ScalingSession::ScalingSession(sim::SimEngine& engine, const model::TaskProfile& profile,
+                               const cluster::Topology& topology, const CostConfig& costs,
+                               ScalingRequest request,
+                               std::function<void(const ScalingReport&)> on_done)
+    : engine_(engine),
+      profile_(profile),
+      topology_(topology),
+      costs_(costs),
+      request_(std::move(request)),
+      on_done_(std::move(on_done)) {
+  ONES_EXPECT(!request_.old_workers.empty());
+  ONES_EXPECT(!request_.new_workers.empty());
+  ONES_EXPECT(on_done_ != nullptr);
+  std::unordered_set<GpuId> old_set(request_.old_workers.begin(), request_.old_workers.end());
+  for (GpuId g : request_.new_workers) {
+    if (old_set.count(g)) {
+      kept_.push_back(g);
+    } else {
+      added_.push_back(g);
+    }
+  }
+}
+
+void ScalingSession::log_event(const std::string& what) {
+  std::ostringstream os;
+  os << "t=" << engine_.now() << "s  " << what;
+  report_.timeline.push_back(os.str());
+}
+
+void ScalingSession::start() {
+  report_.started_at = engine_.now();
+  log_event("scheduler sends new configuration to worker managers");
+
+  if (!added_.empty()) {
+    // Step 1 (Fig 12): new workers initialize in the background while the
+    // previous workers keep training. Init runs in parallel across workers;
+    // the session advances when the slowest one is ready.
+    const double init_s = costs_.framework_init_s +
+                          profile_.params_bytes / costs_.hdfs_bw_Bps * 0.25;
+    log_event("new workers start background initialization (" +
+              std::to_string(added_.size()) + " worker(s))");
+    engine_.schedule_after(init_s, [this] { on_new_workers_ready(); });
+  } else {
+    // Pure shrink / re-batch: nothing to initialize.
+    on_new_workers_ready();
+  }
+}
+
+void ScalingSession::on_new_workers_ready() {
+  report_.new_workers_ready_at = engine_.now();
+  log_event("new workers ready; controller notifies previous workers");
+
+  // Previous workers drain their in-flight training step. We charge the
+  // average case: half a step plus the configured pause overhead.
+  const cluster::LinkProfile old_link = topology_.link_profile(request_.old_workers);
+  const double step = model::step_time_even_s(
+      profile_, std::max(request_.old_global_batch, static_cast<int>(request_.old_workers.size())),
+      static_cast<int>(request_.old_workers.size()), old_link);
+  engine_.schedule_after(0.5 * step + costs_.pause_step_s, [this] { on_previous_drained(); });
+}
+
+void ScalingSession::on_previous_drained() {
+  report_.paused_at = engine_.now();
+  log_event("previous workers drained their step and quit the old topology");
+
+  const double reconnect =
+      costs_.resize_modules_s + costs_.resize_per_byte_s * profile_.params_bytes +
+      costs_.reconnect_base_s +
+      costs_.reconnect_per_worker_s * static_cast<double>(request_.new_workers.size());
+  engine_.schedule_after(reconnect, [this] { on_reconnected(); });
+}
+
+void ScalingSession::on_reconnected() {
+  log_event("all workers connected to the new topology; modules resized");
+  if (!added_.empty()) {
+    const cluster::LinkProfile link = topology_.link_profile(request_.new_workers);
+    const double bcast = profile_.params_bytes / link.bandwidth_Bps;
+    log_event("broadcasting parameters from one previous worker");
+    engine_.schedule_after(bcast, [this] { on_broadcast_done(); });
+  } else {
+    on_broadcast_done();
+  }
+}
+
+void ScalingSession::on_broadcast_done() {
+  report_.resumed_at = engine_.now();
+  report_.blocked_s = report_.resumed_at - report_.paused_at +
+                      0.0;  // training was live until paused_at
+  report_.total_s = report_.resumed_at - report_.started_at;
+  log_event("scaling agents resume the user scripts");
+  on_done_(report_);
+}
+
+ScalingReport run_checkpoint_migration(sim::SimEngine& engine,
+                                       const model::TaskProfile& profile,
+                                       const CostConfig& costs,
+                                       const ScalingRequest& request) {
+  ONES_EXPECT(!request.new_workers.empty());
+  ScalingReport report;
+  report.started_at = engine.now();
+  report.paused_at = engine.now();  // training stops immediately
+
+  auto log = [&](double t, const std::string& what) {
+    std::ostringstream os;
+    os << "t=" << t << "s  " << what;
+    report.timeline.push_back(os.str());
+  };
+
+  double t = engine.now();
+  log(t, "training stopped; saving checkpoint to HDFS");
+  t += profile.params_bytes / costs.hdfs_bw_Bps;
+  log(t, "checkpoint saved; waiting for the scheduler");
+  t += costs.scheduler_delay_s;
+  log(t, "restarting framework on the new workers");
+  t += costs.framework_init_s;
+  log(t, "re-warming the input pipeline");
+  t += costs.data_pipeline_warmup_s;
+  log(t, "loading checkpoint onto the GPUs");
+  t += profile.params_bytes / costs.hdfs_bw_Bps + costs.model_load_s;
+  log(t, "training resumes");
+
+  report.new_workers_ready_at = t;
+  report.resumed_at = t;
+  report.blocked_s = t - report.started_at;
+  report.total_s = report.blocked_s;
+  return report;
+}
+
+}  // namespace ones::elastic

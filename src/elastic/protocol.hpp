@@ -1,0 +1,102 @@
+// Discrete-event enactment of the elastic scaling mechanism (Figs 11 & 12).
+//
+// The paper's mechanism: a central scheduler informs each GPU's *worker
+// manager* of the new configuration; the manager's *scaling agent* pauses the
+// user script at the end of a training step, resizes the modules, reconnects
+// the workers into the new topology and resumes. New workers start first and
+// overlap their (slow) initialization with the still-running training; only
+// once they are ready do the previous workers drain one step and join the
+// new topology, after which the parameters are broadcast from one previous
+// worker.
+//
+// This module simulates that message flow event-by-event on the SimEngine.
+// The fast cost model in cost_model.hpp is what the big trace simulations
+// use; this protocol simulation validates the cost model's "blocked time"
+// decomposition and powers the Fig 16 overhead benchmark and the
+// elastic_scaling_demo example.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "common/ids.hpp"
+#include "elastic/cost_model.hpp"
+#include "model/task.hpp"
+#include "sim/engine.hpp"
+
+namespace ones::elastic {
+
+/// Lifecycle of one worker during a scaling session.
+enum class WorkerPhase {
+  Idle,          ///< not part of the job
+  Initializing,  ///< new worker: user script + module load in background
+  Training,      ///< executing training steps in the old topology
+  Draining,      ///< notified; finishing the in-flight step
+  Reconnecting,  ///< joining the new topology
+  Receiving,     ///< receiving the broadcast parameters
+  Running,       ///< training in the new topology
+};
+
+const char* phase_name(WorkerPhase phase);
+
+struct ScalingReport {
+  double started_at = 0.0;
+  double new_workers_ready_at = 0.0;  ///< background init finished
+  double paused_at = 0.0;             ///< previous workers drained their step
+  double resumed_at = 0.0;            ///< training continues in new topology
+  /// Time the *job* made no training progress (pause -> resume). This is the
+  /// number Figure 16 plots for "elastic batch size scaling".
+  double blocked_s = 0.0;
+  /// End-to-end session time including the overlapped background init.
+  double total_s = 0.0;
+  std::vector<std::string> timeline;  ///< human-readable event log
+};
+
+/// Configuration of one scaling session.
+struct ScalingRequest {
+  JobId job = kInvalidJob;
+  std::vector<GpuId> old_workers;
+  std::vector<GpuId> new_workers;
+  int old_global_batch = 0;
+  int new_global_batch = 0;
+};
+
+/// Simulates one elastic re-configuration of a job. Drives `engine` and
+/// invokes `on_done` with the report when the session completes.
+class ScalingSession {
+ public:
+  ScalingSession(sim::SimEngine& engine, const model::TaskProfile& profile,
+                 const cluster::Topology& topology, const CostConfig& costs,
+                 ScalingRequest request, std::function<void(const ScalingReport&)> on_done);
+
+  /// Kick off the protocol (schedules the first events).
+  void start();
+
+ private:
+  void log_event(const std::string& what);
+  void on_new_workers_ready();
+  void on_previous_drained();
+  void on_reconnected();
+  void on_broadcast_done();
+
+  sim::SimEngine& engine_;
+  const model::TaskProfile& profile_;
+  const cluster::Topology& topology_;
+  CostConfig costs_;
+  ScalingRequest request_;
+  std::function<void(const ScalingReport&)> on_done_;
+  ScalingReport report_;
+  std::vector<GpuId> added_;
+  std::vector<GpuId> kept_;
+};
+
+/// Simulates a checkpoint-based migration of the same request: stop, save to
+/// HDFS, reschedule, restart, reload. The whole session blocks training.
+ScalingReport run_checkpoint_migration(sim::SimEngine& engine,
+                                       const model::TaskProfile& profile,
+                                       const CostConfig& costs,
+                                       const ScalingRequest& request);
+
+}  // namespace ones::elastic

@@ -1,0 +1,108 @@
+#include "model/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace ones::model {
+
+TrainDynamics::TrainDynamics(const TaskProfile& profile, std::int64_t dataset_size,
+                             const ConvergenceConfig& config, std::uint64_t seed)
+    : profile_(profile),
+      config_(config),
+      dataset_size_(dataset_size),
+      required_progress_(profile.epochs_to_target_ref * static_cast<double>(dataset_size)),
+      rng_(seed) {
+  ONES_EXPECT(dataset_size > 0);
+  ONES_EXPECT(profile.epochs_to_target_ref > 0.0);
+  ONES_EXPECT(profile.target_accuracy > 0.0 &&
+              profile.target_accuracy < profile.accuracy_ceiling);
+  // accuracy(p) = ceiling * (1 - exp(-rate * p/required)); choose rate so
+  // accuracy hits the target exactly when progress == required.
+  accuracy_rate_ = -std::log(1.0 - profile.target_accuracy / profile.accuracy_ceiling);
+}
+
+double TrainDynamics::efficiency(int batch) const {
+  ONES_EXPECT(batch >= 1);
+  const double b = static_cast<double>(batch);
+  double eff = (1.0 + static_cast<double>(profile_.b_ref) / profile_.b_crit) /
+               (1.0 + b / profile_.b_crit);
+  if (!config_.lr_linear_scaling && b > static_cast<double>(profile_.b_ref)) {
+    // Without LR rescaling, per-update progress does not grow with the batch:
+    // large batches just take proportionally fewer, equally-sized updates.
+    eff *= static_cast<double>(profile_.b_ref) / b;
+  }
+  return eff;
+}
+
+void TrainDynamics::on_batch_resize(int old_batch, int new_batch) {
+  ONES_EXPECT(old_batch >= 1 && new_batch >= 1);
+  if (new_batch <= old_batch) return;  // shrinking is benign
+  const double doublings = std::log2(static_cast<double>(new_batch) /
+                                     static_cast<double>(old_batch));
+  const double excess = doublings - 1.0;  // one doubling per resize is safe
+  if (excess > 0.0) {
+    disturbance_ += config_.spike_per_extra_doubling * excess;
+  }
+}
+
+double TrainDynamics::current_loss() const {
+  const double p = progress_fraction();
+  return profile_.final_loss +
+         (profile_.init_loss - profile_.final_loss) * std::exp(-3.0 * p) + disturbance_;
+}
+
+double TrainDynamics::current_accuracy() const {
+  const double p = progress_fraction();
+  double acc = profile_.accuracy_ceiling * (1.0 - std::exp(-accuracy_rate_ * p));
+  acc -= config_.disturbance_accuracy_drop * disturbance_;
+  return std::clamp(acc, 0.0, 1.0);
+}
+
+TrainDynamics::EpochResult TrainDynamics::advance(int batch, double samples) {
+  ONES_EXPECT(batch >= 1);
+  ONES_EXPECT(samples >= 0.0);
+  ONES_EXPECT_MSG(!converged_, "advancing a converged job");
+
+  samples_processed_ += samples;
+  progress_ += samples * efficiency(batch) /
+               (1.0 + config_.progress_slowdown * disturbance_);
+
+  // Disturbance decays with training, proportionally to how much of an epoch
+  // was just processed.
+  const double epoch_frac = samples / static_cast<double>(dataset_size_);
+  disturbance_ *= std::pow(config_.disturbance_decay, epoch_frac);
+  if (disturbance_ < 1e-4) disturbance_ = 0.0;
+
+  EpochResult res;
+  res.train_loss = current_loss();
+  const double noisy_acc =
+      std::clamp(current_accuracy() + rng_.normal(0.0, config_.accuracy_noise), 0.0, 1.0);
+  res.val_accuracy = noisy_acc;
+
+  if (noisy_acc >= profile_.target_accuracy) {
+    above_target_samples_ += samples;
+  } else {
+    above_target_samples_ = 0.0;  // the paper requires *consecutive* epochs
+  }
+  if (above_target_samples_ >=
+      static_cast<double>(config_.patience_epochs) * static_cast<double>(dataset_size_)) {
+    converged_ = true;
+  }
+  res.converged = converged_;
+  return res;
+}
+
+double TrainDynamics::oracle_remaining_samples(int batch) const {
+  if (converged_) return 0.0;
+  const double to_target =
+      std::max(0.0, required_progress_ - progress_) / efficiency(batch);
+  const double tail =
+      std::max(0.0, static_cast<double>(config_.patience_epochs) *
+                            static_cast<double>(dataset_size_) -
+                        above_target_samples_);
+  return to_target + tail;
+}
+
+}  // namespace ones::model

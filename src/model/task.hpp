@@ -1,0 +1,59 @@
+// Deep-learning task profiles.
+//
+// The paper's trace (Table 2) trains real models — AlexNet, ResNet50, VGG16,
+// InceptionV3 on ImageNet subsets; ResNet18, VGG16, GoogleNet on CIFAR10
+// subsets; BERT on CoLA / MRPC / SST-2 subsets — on V100 GPUs. We replace
+// real training with analytic profiles carrying exactly the quantities the
+// cluster-level behaviour depends on:
+//
+//  * params_bytes           — all-reduce volume per step,
+//  * t_sample_s             — per-sample fwd+bwd GPU time on a V100,
+//  * t_step_fixed_s         — per-step fixed overhead (launch, optimizer),
+//  * max_local_batch        — GPU memory limit,
+//  * b_crit                 — critical batch size: beyond it, samples-to-
+//                             convergence grow ~linearly (gradient-noise-
+//                             scale law, McCandlish et al.),
+//  * epochs_to_target_ref   — epochs to reach the target accuracy at the
+//                             reference batch b_ref.
+//
+// The numbers are calibrated to public V100 throughput figures and to the
+// paper's own observations (jobs finish within ~2 h; Fig 2/3 shapes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ones::model {
+
+enum class TaskFamily { CvImageNet, CvCifar, NlpBert };
+
+const char* family_name(TaskFamily family);
+
+struct TaskProfile {
+  std::string name;            ///< e.g. "ResNet50"
+  TaskFamily family = TaskFamily::CvCifar;
+  double params_bytes = 0.0;   ///< fp32 parameter volume (all-reduce payload)
+  double t_sample_s = 0.0;     ///< per-sample compute time on one V100
+  double t_step_fixed_s = 0.0; ///< fixed per-step overhead
+  int max_local_batch = 0;     ///< memory-limited per-GPU batch
+  /// Below this local batch the GPU is launch-bound: the step costs the same
+  /// as if the batch were min_util_batch. This is what makes a *fixed* global
+  /// batch stop scaling past a couple of workers (Fig 2).
+  int min_util_batch = 1;
+  int b_ref = 256;             ///< reference (user-submitted) batch size
+  double b_crit = 512.0;       ///< critical batch size
+  double epochs_to_target_ref = 25.0;  ///< epochs to target accuracy at b_ref
+  double init_loss = 2.5;
+  double final_loss = 0.1;
+  double target_accuracy = 0.9;
+  double accuracy_ceiling = 0.97;  ///< asymptotic accuracy of the model
+};
+
+/// All model profiles used by the Table 2 trace.
+const std::vector<TaskProfile>& builtin_profiles();
+
+/// Look up a profile by name; throws if unknown.
+const TaskProfile& profile_by_name(const std::string& name);
+
+}  // namespace ones::model

@@ -1,0 +1,137 @@
+#include "sched/optimus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "sched/oracle.hpp"
+#include "sched/placement.hpp"
+#include "stats/solve.hpp"
+
+namespace ones::sched {
+
+double OptimusScheduler::predict_remaining_epochs(const JobView& job) const {
+  const double done = static_cast<double>(job.epochs_completed);
+  const double tail = static_cast<double>(config_.patience_epochs);
+
+  if (job.epoch_log.size() >= 3) {
+    // Fit 1/(1 - acc) = a*k + b on the observed epochs.
+    const std::size_t n = job.epoch_log.size();
+    stats::Matrix x(n, 2);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x.at(i, 0) = static_cast<double>(i + 1);
+      x.at(i, 1) = 1.0;
+      const double acc = std::min(job.epoch_log[i].val_accuracy, 0.999);
+      y[i] = 1.0 / (1.0 - acc);
+    }
+    const auto w = stats::ridge_regression(x, y, 1e-6);
+    const double a = w[0], b = w[1];
+    if (a > 1e-9) {
+      const double target = std::min(job.profile->target_accuracy, 0.999);
+      const double k_star = (1.0 / (1.0 - target) - b) / a;
+      return std::max(k_star - done, 0.0) + tail;
+    }
+  }
+  // Too little history (or a non-increasing fit): fall back to the prior.
+  return std::max(config_.default_total_epochs - done, 1.0) + tail;
+}
+
+std::optional<cluster::Assignment> OptimusScheduler::on_event(const ClusterState& state,
+                                                              const SchedulerEvent& event) {
+  // Optimus is strictly round-based: it only acts on its periodic timer
+  // (the paper highlights the queuing cost of this design).
+  if (event.kind != EventKind::Timer) return std::nullopt;
+
+  struct Cand {
+    const JobView* job;
+    double remaining_samples;
+    int min_workers;
+    int max_workers;
+    int workers = 0;
+  };
+  std::vector<Cand> cands;
+  for (const JobView* job : state.active_jobs()) {
+    Cand c;
+    c.job = job;
+    c.remaining_samples = predict_remaining_epochs(*job) * job->dataset_size();
+    c.min_workers = static_cast<int>(
+        ceil_div(job->spec.requested_batch, job->profile->max_local_batch));
+    c.max_workers = std::min(config_.max_workers_per_job, job->spec.requested_batch);
+    cands.push_back(c);
+  }
+
+  auto speed = [&](const Cand& c, int workers) {
+    return state.oracle->estimate_sps(*c.job, workers, c.job->spec.requested_batch,
+                                      state.oracle->can_colocate(workers));
+  };
+
+  // Fairness floor: everyone gets their minimum worker count, shortest
+  // predicted remaining time first when over-subscribed.
+  std::sort(cands.begin(), cands.end(), [&](const Cand& a, const Cand& b) {
+    const double ta = a.remaining_samples / speed(a, a.min_workers);
+    const double tb = b.remaining_samples / speed(b, b.min_workers);
+    if (ta != tb) return ta < tb;
+    return a.job->spec.id < b.job->spec.id;
+  });
+  int capacity = state.topology->total_gpus();
+  for (Cand& c : cands) {
+    if (c.min_workers <= capacity) {
+      c.workers = c.min_workers;
+      capacity -= c.min_workers;
+    }
+  }
+
+  // Greedy marginal allocation of the remaining GPUs.
+  while (capacity > 0) {
+    Cand* best = nullptr;
+    double best_gain = 1e-9;
+    for (Cand& c : cands) {
+      if (c.workers == 0 || c.workers >= c.max_workers) continue;
+      const double gain = c.remaining_samples / speed(c, c.workers) -
+                          c.remaining_samples / speed(c, c.workers + 1);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = &c;
+      }
+    }
+    if (best == nullptr) break;
+    best->workers += 1;
+    --capacity;
+  }
+
+  // Emit only if something changes (same job set with same worker counts and
+  // batches means the cluster can keep running undisturbed).
+  bool same = true;
+  std::size_t scheduled = 0;
+  for (const Cand& c : cands) {
+    if (c.workers == 0) {
+      if (c.job->status == JobStatus::Running) same = false;
+      continue;
+    }
+    ++scheduled;
+    if (c.job->status != JobStatus::Running || c.job->gpus != c.workers) same = false;
+  }
+  if (same && scheduled == state.current->running_jobs().size()) return std::nullopt;
+
+  cluster::Assignment next(state.topology->total_gpus());
+  for (const Cand& c : cands) {
+    if (c.workers > 0 && c.job->status == JobStatus::Running && c.job->gpus == c.workers) {
+      for (GpuId g : state.current->gpus_of(c.job->spec.id)) {
+        next.place(g, c.job->spec.id, state.current->slot(g).local_batch);
+      }
+    }
+  }
+  for (const Cand& c : cands) {
+    if (c.workers > 0 &&
+        !(c.job->status == JobStatus::Running && c.job->gpus == c.workers)) {
+      const auto gpus = pick_idle_gpus(next, *state.topology, c.workers);
+      ONES_EXPECT_MSG(!gpus.empty(), "capacity accounting broke in Optimus");
+      place_job_even(next, c.job->spec.id, gpus, c.job->spec.requested_batch);
+    }
+  }
+  return next;
+}
+
+}  // namespace ones::sched

@@ -1,0 +1,65 @@
+#include "sched/placement.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "model/throughput.hpp"
+
+namespace ones::sched {
+
+std::vector<GpuId> pick_idle_gpus(const cluster::Assignment& assignment,
+                                  const cluster::Topology& topology, int count) {
+  ONES_EXPECT(count >= 1);
+  if (assignment.idle_count() < count) return {};
+
+  // Free GPUs per node.
+  std::vector<std::vector<GpuId>> free_by_node(static_cast<std::size_t>(topology.num_nodes()));
+  for (GpuId g : assignment.idle_gpus()) {
+    free_by_node[static_cast<std::size_t>(topology.node_of(g))].push_back(g);
+  }
+
+  // Best fit: the node with the *fewest* free GPUs that still fits the set,
+  // to preserve large holes for large jobs.
+  int best_node = -1;
+  for (int n = 0; n < topology.num_nodes(); ++n) {
+    const int free = static_cast<int>(free_by_node[static_cast<std::size_t>(n)].size());
+    if (free >= count &&
+        (best_node < 0 ||
+         free < static_cast<int>(free_by_node[static_cast<std::size_t>(best_node)].size()))) {
+      best_node = n;
+    }
+  }
+  std::vector<GpuId> out;
+  if (best_node >= 0) {
+    const auto& pool = free_by_node[static_cast<std::size_t>(best_node)];
+    out.assign(pool.begin(), pool.begin() + count);
+    return out;
+  }
+
+  // Spill: take from the emptiest nodes first to minimize the span.
+  std::vector<int> order(static_cast<std::size_t>(topology.num_nodes()));
+  for (int n = 0; n < topology.num_nodes(); ++n) order[static_cast<std::size_t>(n)] = n;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return free_by_node[static_cast<std::size_t>(a)].size() >
+           free_by_node[static_cast<std::size_t>(b)].size();
+  });
+  for (int n : order) {
+    for (GpuId g : free_by_node[static_cast<std::size_t>(n)]) {
+      if (static_cast<int>(out.size()) == count) return out;
+      out.push_back(g);
+    }
+  }
+  ONES_EXPECT(static_cast<int>(out.size()) == count);
+  return out;
+}
+
+void place_job_even(cluster::Assignment& assignment, JobId job,
+                    const std::vector<GpuId>& gpus, int global_batch) {
+  ONES_EXPECT(!gpus.empty());
+  const auto split = model::even_split(global_batch, static_cast<int>(gpus.size()));
+  for (std::size_t i = 0; i < gpus.size(); ++i) {
+    assignment.place(gpus[i], job, split[i]);
+  }
+}
+
+}  // namespace ones::sched

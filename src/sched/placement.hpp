@@ -1,0 +1,25 @@
+// Locality-aware placement helper shared by the gang-scheduling baselines.
+//
+// Picks idle GPUs for a worker set, preferring to pack the whole set onto a
+// single node (best-fit: the node whose free-GPU count is smallest but
+// sufficient), falling back to spilling across the emptiest nodes. ONES
+// achieves the same effect through its *reorder* evolution operator instead.
+#pragma once
+
+#include <vector>
+
+#include "cluster/assignment.hpp"
+#include "cluster/topology.hpp"
+
+namespace ones::sched {
+
+/// Choose `count` idle GPUs in `assignment`. Returns an empty vector if
+/// fewer than `count` GPUs are idle.
+std::vector<GpuId> pick_idle_gpus(const cluster::Assignment& assignment,
+                                  const cluster::Topology& topology, int count);
+
+/// Place `job` on `gpus` splitting `global_batch` as evenly as possible.
+void place_job_even(cluster::Assignment& assignment, JobId job,
+                    const std::vector<GpuId>& gpus, int global_batch);
+
+}  // namespace ones::sched

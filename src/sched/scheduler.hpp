@@ -1,0 +1,115 @@
+// Scheduler interface and the cluster state exposed to scheduling policies.
+//
+// Every scheduler — ONES, DRL, Tiresias, Optimus, FIFO, SRTF — implements
+// the same callback interface and runs on the same simulation driver, so
+// comparisons isolate policy differences exactly as the paper's shared
+// testbed did.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/assignment.hpp"
+#include "cluster/topology.hpp"
+#include "common/ids.hpp"
+#include "model/task.hpp"
+#include "workload/trace.hpp"
+
+namespace ones::sched {
+
+enum class JobStatus { Waiting, Running, Completed };
+
+const char* status_name(JobStatus status);
+
+/// How a scheduler's re-configurations are executed, which determines the
+/// cost charged per change (paper §4.3): ONES uses the elastic mechanism
+/// (~1 s); the baselines use checkpoint-based migration (tens of seconds).
+enum class ScalingMechanism { Elastic, Checkpoint };
+
+/// One row of the per-epoch progress upload (paper §3.1: workers report
+/// progress to the central scheduler at the end of each epoch).
+struct EpochLogEntry {
+  double time_s = 0.0;
+  double samples_processed = 0.0;
+  double train_loss = 0.0;
+  double val_accuracy = 0.0;
+  int global_batch = 0;
+};
+
+/// Everything a scheduler may observe about a job. No ground-truth
+/// convergence state leaks through this struct; schedulers that want
+/// predictions must build them from the epoch log (as ONES and Optimus do).
+struct JobView {
+  workload::JobSpec spec;
+  const model::TaskProfile* profile = nullptr;  ///< public job metadata
+  JobStatus status = JobStatus::Waiting;
+
+  double samples_processed = 0.0;  ///< Y_processed
+  double exec_time_s = 0.0;        ///< T_processed
+  double throughput_sps = 0.0;     ///< last measured throughput
+  double train_loss = 0.0;
+  double val_accuracy = 0.0;
+  double init_loss = 0.0;          ///< loss measured before training
+
+  /// The job ended abnormally (killed / crashed) before converging. Such
+  /// jobs still free their resources through a JobComplete event, but their
+  /// history must not be mistaken for a converged training run.
+  bool aborted = false;
+
+  int gpus = 0;          ///< c_j under the current schedule
+  int global_batch = 0;  ///< B_j under the current schedule
+  int epochs_completed = 0;
+  std::vector<EpochLogEntry> epoch_log;
+
+  double dataset_size() const { return static_cast<double>(spec.variant.dataset_size); }
+};
+
+class ThroughputOracle;
+
+enum class EventKind { JobArrival, EpochComplete, JobComplete, Timer };
+
+const char* event_name(EventKind kind);
+
+struct SchedulerEvent {
+  EventKind kind = EventKind::Timer;
+  JobId job = kInvalidJob;  ///< subject job (invalid for Timer)
+};
+
+/// Snapshot handed to the scheduler on every event.
+struct ClusterState {
+  double now = 0.0;
+  const cluster::Topology* topology = nullptr;
+  const cluster::Assignment* current = nullptr;
+  /// All submitted jobs (any status), indexed by JobId order of arrival.
+  std::vector<const JobView*> jobs;
+  const ThroughputOracle* oracle = nullptr;
+  /// Ground-truth remaining raw samples of a job at a given fixed batch.
+  /// ONLY the SRTF-oracle upper-bound baseline may use this; production
+  /// schedulers must predict from the epoch logs instead.
+  std::function<double(JobId, int)> true_remaining_samples;
+
+  const JobView* job(JobId id) const;
+  std::vector<const JobView*> waiting_jobs() const;
+  std::vector<const JobView*> running_jobs() const;
+  std::vector<const JobView*> active_jobs() const;  ///< waiting + running
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+  virtual ScalingMechanism mechanism() const { return ScalingMechanism::Checkpoint; }
+  /// Non-zero: the driver additionally delivers Timer events at this period
+  /// (Optimus reschedules every 10 minutes).
+  virtual double period_s() const { return 0.0; }
+
+  /// React to a cluster event. Return a full new Assignment to re-schedule
+  /// the cluster, or nullopt to keep the current allocation.
+  virtual std::optional<cluster::Assignment> on_event(const ClusterState& state,
+                                                      const SchedulerEvent& event) = 0;
+};
+
+}  // namespace ones::sched

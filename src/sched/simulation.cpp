@@ -1,0 +1,401 @@
+#include "sched/simulation.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/log.hpp"
+#include "model/throughput.hpp"
+
+namespace ones::sched {
+
+const char* status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::Waiting: return "waiting";
+    case JobStatus::Running: return "running";
+    case JobStatus::Completed: return "completed";
+  }
+  return "?";
+}
+
+const char* event_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::JobArrival: return "arrival";
+    case EventKind::EpochComplete: return "epoch";
+    case EventKind::JobComplete: return "complete";
+    case EventKind::Timer: return "timer";
+  }
+  return "?";
+}
+
+const JobView* ClusterState::job(JobId id) const {
+  for (const JobView* j : jobs) {
+    if (j->spec.id == id) return j;
+  }
+  return nullptr;
+}
+
+std::vector<const JobView*> ClusterState::waiting_jobs() const {
+  std::vector<const JobView*> out;
+  for (const JobView* j : jobs) {
+    if (j->status == JobStatus::Waiting) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<const JobView*> ClusterState::running_jobs() const {
+  std::vector<const JobView*> out;
+  for (const JobView* j : jobs) {
+    if (j->status == JobStatus::Running) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<const JobView*> ClusterState::active_jobs() const {
+  std::vector<const JobView*> out;
+  for (const JobView* j : jobs) {
+    if (j->status != JobStatus::Completed) out.push_back(j);
+  }
+  return out;
+}
+
+ClusterSimulation::ClusterSimulation(const SimulationConfig& config,
+                                     std::vector<workload::JobSpec> trace,
+                                     Scheduler& scheduler)
+    : config_(config),
+      trace_(std::move(trace)),
+      scheduler_(scheduler),
+      topology_(config.topology),
+      current_(topology_.total_gpus()),
+      oracle_(topology_, config.oracle),
+      cost_model_(config.costs) {
+  ONES_EXPECT(!trace_.empty());
+  // Schedule every arrival up front.
+  for (const auto& spec : trace_) {
+    ONES_EXPECT_MSG(!runtimes_.count(spec.id), "duplicate job id in trace");
+    runtimes_.emplace(spec.id, JobRuntime{});
+    engine_.schedule_at(spec.arrival_time_s, [this, id = spec.id] { on_arrival(id); });
+  }
+  // The runtimes get fully initialized on arrival; reserve specs now.
+  for (const auto& spec : trace_) {
+    auto& rt = runtimes_.at(spec.id);
+    rt.view.spec = spec;
+    rt.view.profile = &model::profile_by_name(spec.variant.model_name);
+    rt.view.init_loss = rt.view.profile->init_loss;
+    rt.view.train_loss = rt.view.profile->init_loss;
+  }
+  if (scheduler_.period_s() > 0.0) {
+    engine_.schedule_after(scheduler_.period_s(), [this] { on_timer(); });
+  }
+}
+
+ClusterSimulation::JobRuntime& ClusterSimulation::runtime(JobId job) {
+  auto it = runtimes_.find(job);
+  ONES_EXPECT_MSG(it != runtimes_.end(), "unknown job id");
+  return it->second;
+}
+
+const ClusterSimulation::JobRuntime& ClusterSimulation::runtime(JobId job) const {
+  auto it = runtimes_.find(job);
+  ONES_EXPECT_MSG(it != runtimes_.end(), "unknown job id");
+  return it->second;
+}
+
+const JobView& ClusterSimulation::job_view(JobId job) const { return runtime(job).view; }
+
+ClusterState ClusterSimulation::make_state() const {
+  ClusterState s;
+  s.now = engine_.now();
+  s.topology = &topology_;
+  s.current = &current_;
+  s.oracle = &oracle_;
+  s.jobs.reserve(arrived_order_.size());
+  for (JobId id : arrived_order_) {
+    s.jobs.push_back(&runtimes_.at(id).view);
+  }
+  s.true_remaining_samples = [this](JobId job, int batch) {
+    const auto& rt = runtime(job);
+    ONES_EXPECT(rt.dynamics != nullptr);
+    return rt.dynamics->oracle_remaining_samples(batch);
+  };
+  return s;
+}
+
+void ClusterSimulation::run() {
+  engine_.run_until(config_.max_sim_time_s);
+  if (!all_completed()) {
+    ONES_LOG(Warn) << "simulation ended with " << (trace_.size() - completed_count_)
+                   << " unfinished job(s) — scheduler '" << scheduler_.name()
+                   << "' left work stranded or hit the time limit";
+  }
+}
+
+double ClusterSimulation::actual_tput(JobId job, const cluster::Assignment& assignment) const {
+  const auto& rt = runtime(job);
+  const auto gpus = assignment.gpus_of(job);
+  ONES_EXPECT(!gpus.empty());
+  std::vector<int> batches;
+  batches.reserve(gpus.size());
+  for (GpuId g : gpus) batches.push_back(assignment.slot(g).local_batch);
+  const cluster::LinkProfile link = topology_.link_profile(gpus);
+  return model::throughput_sps(*rt.view.profile, batches, link);
+}
+
+void ClusterSimulation::update_busy() {
+  metrics_.on_busy_gpus(topology_.total_gpus() - current_.idle_count(), engine_.now());
+}
+
+void ClusterSimulation::accrue(JobId job, double now) {
+  auto& rt = runtime(job);
+  if (rt.view.status != JobStatus::Running) return;
+  const double from = std::max(rt.last_accrue, rt.produce_start);
+  if (now <= from) return;
+  rt.last_accrue = now;
+  double samples = rt.tput_sps * (now - from);
+  if (samples <= 0.0) return;
+  const double dataset = rt.view.dataset_size();
+  samples = std::min(samples, dataset - rt.epoch_samples_done);
+  rt.epoch_samples_done += samples;
+  if (!rt.dynamics->converged()) {
+    rt.last_result = rt.dynamics->advance(rt.view.global_batch, samples);
+  }
+  rt.view.samples_processed = rt.dynamics->samples_processed();
+  rt.view.exec_time_s += now - from;  // time on GPUs while producing
+}
+
+void ClusterSimulation::on_arrival(JobId job) {
+  auto& rt = runtime(job);
+  rt.view.status = JobStatus::Waiting;
+  rt.dynamics = std::make_unique<model::TrainDynamics>(
+      *rt.view.profile, rt.view.spec.variant.dataset_size, config_.convergence,
+      rt.view.spec.dynamics_seed);
+  arrived_order_.push_back(job);
+  metrics_.on_submit(job, engine_.now());
+  if (rt.view.spec.kill_after_s > 0.0) {
+    // Abnormal ending (user abort / crash / early stop — §2.1).
+    rt.kill_event = engine_.schedule_after(rt.view.spec.kill_after_s,
+                                           [this, job] { on_kill_event(job); });
+  }
+  notify(EventKind::JobArrival, job);
+}
+
+void ClusterSimulation::on_kill_event(JobId job) {
+  auto& rt = runtime(job);
+  rt.kill_event = 0;
+  ONES_EXPECT(rt.view.status != JobStatus::Completed);
+  const double now = engine_.now();
+  if (rt.view.status == JobStatus::Running) {
+    accrue(job, now);
+    if (rt.epoch_event != 0) {
+      engine_.cancel(rt.epoch_event);
+      rt.epoch_event = 0;
+    }
+    metrics_.on_run_end(job, now, /*preempted=*/false);
+    current_.evict(job);
+    update_busy();
+  }
+  rt.view.status = JobStatus::Completed;
+  rt.view.aborted = true;
+  rt.view.gpus = 0;
+  rt.view.global_batch = 0;
+  rt.tput_sps = 0.0;
+  metrics_.on_abort(job, now);
+  ++completed_count_;
+  notify(EventKind::JobComplete, job);
+}
+
+void ClusterSimulation::on_timer() {
+  notify(EventKind::Timer, kInvalidJob);
+  if (completed_count_ < trace_.size()) {
+    engine_.schedule_after(scheduler_.period_s(), [this] { on_timer(); });
+  }
+}
+
+void ClusterSimulation::on_epoch_event(JobId job) {
+  auto& rt = runtime(job);
+  ONES_EXPECT(rt.view.status == JobStatus::Running);
+  rt.epoch_event = 0;
+  accrue(job, engine_.now());
+  // Force the epoch boundary (accrue clamps to it; fp residue is < 1 sample).
+  rt.epoch_samples_done = 0.0;
+  rt.view.epochs_completed += 1;
+  rt.view.train_loss = rt.last_result.train_loss;
+  rt.view.val_accuracy = rt.last_result.val_accuracy;
+  if (config_.record_epoch_logs) {
+    rt.view.epoch_log.push_back({engine_.now(), rt.view.samples_processed,
+                                 rt.view.train_loss, rt.view.val_accuracy,
+                                 rt.view.global_batch});
+  }
+
+  if (rt.dynamics->converged()) {
+    complete_job(job, engine_.now());
+    notify(EventKind::JobComplete, job);
+    return;
+  }
+  notify(EventKind::EpochComplete, job);
+  // If the scheduler kept the allocation, continue this job's next epoch.
+  if (rt.view.status == JobStatus::Running && rt.epoch_event == 0) {
+    schedule_epoch_event(job);
+  }
+}
+
+void ClusterSimulation::notify(EventKind kind, JobId job) {
+  ONES_EXPECT_MSG(!in_notify_, "re-entrant scheduler notification");
+  in_notify_ = true;
+  const ClusterState state = make_state();
+  std::optional<cluster::Assignment> next = scheduler_.on_event(state, {kind, job});
+  in_notify_ = false;
+  if (next.has_value()) {
+    apply(std::move(*next));
+  }
+}
+
+void ClusterSimulation::validate(const cluster::Assignment& next) const {
+  ONES_EXPECT_MSG(next.num_gpus() == topology_.total_gpus(),
+                  "assignment sized for a different cluster");
+  next.check_invariants();
+  for (JobId j : next.running_jobs()) {
+    auto it = runtimes_.find(j);
+    ONES_EXPECT_MSG(it != runtimes_.end(), "assignment references unknown job");
+    const auto& rt = it->second;
+    ONES_EXPECT_MSG(rt.view.status != JobStatus::Completed,
+                    "assignment references a completed job");
+    ONES_EXPECT_MSG(rt.dynamics != nullptr, "assignment references a job not yet arrived");
+    for (GpuId g : next.gpus_of(j)) {
+      ONES_EXPECT_MSG(next.slot(g).local_batch <= rt.view.profile->max_local_batch,
+                      "local batch exceeds the GPU memory limit");
+    }
+  }
+}
+
+void ClusterSimulation::apply(cluster::Assignment next) {
+  validate(next);
+  const double now = engine_.now();
+  ++deployments_;
+
+  // Account all in-flight progress before changing anything.
+  for (JobId j : current_.running_jobs()) accrue(j, now);
+
+  const cluster::AssignmentDelta delta = cluster::diff(current_, next);
+  for (JobId j : delta.stopped) stop_job(j, now);
+  // Install the new allocation before computing placement-dependent costs.
+  const cluster::Assignment prev = current_;
+  current_ = next;
+  for (JobId j : delta.started) start_job(j, next, now);
+  for (JobId j : delta.reconfigured) {
+    // Need the previous worker count for the cost model.
+    auto& rt = runtime(j);
+    const int old_workers = prev.gpu_count(j);
+    const int old_batch = prev.global_batch(j);
+    rt.view.gpus = next.gpu_count(j);
+    rt.view.global_batch = next.global_batch(j);
+    const auto gpus = next.gpus_of(j);
+    const cluster::LinkProfile link = topology_.link_profile(gpus);
+    double cost = 0.0;
+    if (scheduler_.mechanism() == ScalingMechanism::Elastic) {
+      cost = cost_model_.elastic_cost_s(*rt.view.profile, old_workers, rt.view.gpus, link);
+    } else {
+      cost = cost_model_.checkpoint_cost_s(*rt.view.profile, rt.view.gpus);
+    }
+    if (rt.view.global_batch != old_batch) {
+      rt.dynamics->on_batch_resize(old_batch, rt.view.global_batch);
+    }
+    rt.last_batch = rt.view.global_batch;
+    rt.tput_sps = actual_tput(j, next);
+    rt.view.throughput_sps = rt.tput_sps;
+    rt.produce_start = now + cost;
+    rt.last_accrue = rt.produce_start;
+    if (rt.epoch_event != 0) {
+      engine_.cancel(rt.epoch_event);
+      rt.epoch_event = 0;
+    }
+    schedule_epoch_event(j);
+  }
+  update_busy();
+}
+
+void ClusterSimulation::start_job(JobId job, const cluster::Assignment& next, double now) {
+  auto& rt = runtime(job);
+  ONES_EXPECT(rt.view.status == JobStatus::Waiting);
+  rt.view.status = JobStatus::Running;
+  metrics_.on_run_start(job, now);
+
+  const int new_batch = next.global_batch(job);
+  double cost;
+  if (!rt.ever_ran) {
+    cost = cost_model_.cold_start_cost_s(*rt.view.profile);
+    rt.ever_ran = true;
+    rt.last_batch = new_batch;
+  } else {
+    // Resuming a preempted job: reload state. The elastic mechanism keeps the
+    // runtime warm (agents reconnect + reload weights); checkpoint restarts
+    // the whole stack.
+    if (scheduler_.mechanism() == ScalingMechanism::Elastic) {
+      const auto& cc = cost_model_.config();
+      cost = cc.reconnect_base_s + cc.model_load_s +
+             rt.view.profile->params_bytes / cc.hdfs_bw_Bps;
+    } else {
+      cost = cost_model_.checkpoint_cost_s(*rt.view.profile, next.gpu_count(job));
+    }
+    if (new_batch != rt.last_batch) {
+      rt.dynamics->on_batch_resize(rt.last_batch, new_batch);
+      rt.last_batch = new_batch;
+    }
+  }
+
+  rt.view.gpus = next.gpu_count(job);
+  rt.view.global_batch = new_batch;
+  rt.tput_sps = actual_tput(job, next);
+  rt.view.throughput_sps = rt.tput_sps;
+  rt.produce_start = now + cost;
+  rt.last_accrue = rt.produce_start;
+  schedule_epoch_event(job);
+}
+
+void ClusterSimulation::stop_job(JobId job, double now) {
+  auto& rt = runtime(job);
+  ONES_EXPECT(rt.view.status == JobStatus::Running);
+  if (rt.epoch_event != 0) {
+    engine_.cancel(rt.epoch_event);
+    rt.epoch_event = 0;
+  }
+  rt.view.status = JobStatus::Waiting;
+  rt.last_batch = rt.view.global_batch;
+  rt.view.gpus = 0;
+  rt.view.global_batch = 0;
+  rt.tput_sps = 0.0;
+  rt.view.throughput_sps = 0.0;
+  metrics_.on_run_end(job, now, /*preempted=*/true);
+}
+
+void ClusterSimulation::complete_job(JobId job, double now) {
+  auto& rt = runtime(job);
+  ONES_EXPECT(rt.view.status == JobStatus::Running);
+  if (rt.epoch_event != 0) {
+    engine_.cancel(rt.epoch_event);
+    rt.epoch_event = 0;
+  }
+  if (rt.kill_event != 0) {
+    engine_.cancel(rt.kill_event);  // converged before the abnormal ending
+    rt.kill_event = 0;
+  }
+  rt.view.status = JobStatus::Completed;
+  rt.view.gpus = 0;
+  rt.view.global_batch = 0;
+  metrics_.on_run_end(job, now, /*preempted=*/false);
+  metrics_.on_complete(job, now);
+  current_.evict(job);
+  update_busy();
+  ++completed_count_;
+}
+
+void ClusterSimulation::schedule_epoch_event(JobId job) {
+  auto& rt = runtime(job);
+  ONES_EXPECT(rt.view.status == JobStatus::Running);
+  ONES_EXPECT(rt.epoch_event == 0);
+  ONES_EXPECT(rt.tput_sps > 0.0);
+  const double remaining = rt.view.dataset_size() - rt.epoch_samples_done;
+  const double when = std::max(rt.produce_start, engine_.now()) + remaining / rt.tput_sps;
+  rt.epoch_event = engine_.schedule_at(when, [this, job] { on_epoch_event(job); });
+}
+
+}  // namespace ones::sched

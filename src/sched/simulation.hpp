@@ -1,0 +1,118 @@
+// Cluster simulation driver.
+//
+// Owns the discrete-event engine, the cluster topology, the arrival trace
+// and one Scheduler. Delivers events (arrival / epoch-complete / completion /
+// timer) to the scheduler, applies the Assignments it returns, charges the
+// appropriate re-configuration costs (elastic vs checkpoint mechanism),
+// advances each job's training dynamics and records telemetry.
+//
+// Job lifecycle per the paper: workers upload progress at the end of every
+// epoch (§3.1); a job completes once its validation accuracy has held at or
+// above target for 10 consecutive epochs (§4.1); preemption and elastic
+// re-configuration are allowed at any time and charge the mechanism's cost
+// while the job makes no progress.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/assignment.hpp"
+#include "cluster/topology.hpp"
+#include "elastic/cost_model.hpp"
+#include "model/convergence.hpp"
+#include "sched/oracle.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
+#include "workload/trace.hpp"
+
+namespace ones::sched {
+
+struct SimulationConfig {
+  cluster::TopologyConfig topology;
+  model::ConvergenceConfig convergence;
+  elastic::CostConfig costs;
+  OracleConfig oracle;
+  /// Hard stop; a correct run finishes long before (all jobs complete).
+  double max_sim_time_s = 1e7;
+  /// Keep per-epoch logs in the JobViews (needed by ONES and Optimus).
+  bool record_epoch_logs = true;
+};
+
+class ClusterSimulation {
+ public:
+  ClusterSimulation(const SimulationConfig& config, std::vector<workload::JobSpec> trace,
+                    Scheduler& scheduler);
+  ClusterSimulation(const ClusterSimulation&) = delete;
+  ClusterSimulation& operator=(const ClusterSimulation&) = delete;
+
+  /// Run the whole trace to completion (or to max_sim_time_s).
+  void run();
+
+  const telemetry::MetricsCollector& metrics() const { return metrics_; }
+  const cluster::Topology& topology() const { return topology_; }
+  const cluster::Assignment& current_assignment() const { return current_; }
+  const JobView& job_view(JobId job) const;
+  /// Jobs that finished (converged normally or aborted).
+  std::size_t completed_jobs() const { return completed_count_; }
+  bool all_completed() const { return completed_count_ == trace_.size(); }
+  double now() const { return engine_.now(); }
+  /// Number of Assignments the scheduler deployed (schedule churn).
+  std::uint64_t deployments() const { return deployments_; }
+
+ private:
+  struct JobRuntime {
+    JobView view;
+    std::unique_ptr<model::TrainDynamics> dynamics;
+    double tput_sps = 0.0;        ///< true throughput of the live placement
+    double produce_start = 0.0;   ///< production resumes after scaling cost
+    double last_accrue = 0.0;
+    double epoch_samples_done = 0.0;
+    sim::EventId epoch_event = 0;
+    sim::EventId kill_event = 0;
+    bool ever_ran = false;
+    int last_batch = 0;  ///< batch before the most recent stop/reconfigure
+    model::TrainDynamics::EpochResult last_result;
+  };
+
+  void on_arrival(JobId job);
+  void on_epoch_event(JobId job);
+  void on_kill_event(JobId job);
+  void on_timer();
+  void notify(EventKind kind, JobId job);
+  void apply(cluster::Assignment next);
+  void validate(const cluster::Assignment& next) const;
+
+  void accrue(JobId job, double now);
+  void start_job(JobId job, const cluster::Assignment& next, double now);
+  void stop_job(JobId job, double now);
+  void reconfigure_job(JobId job, const cluster::Assignment& next, double now);
+  void complete_job(JobId job, double now);
+  void schedule_epoch_event(JobId job);
+  double actual_tput(JobId job, const cluster::Assignment& assignment) const;
+  void update_busy();
+
+  JobRuntime& runtime(JobId job);
+  const JobRuntime& runtime(JobId job) const;
+  ClusterState make_state() const;
+
+  SimulationConfig config_;
+  std::vector<workload::JobSpec> trace_;
+  Scheduler& scheduler_;
+
+  sim::SimEngine engine_;
+  cluster::Topology topology_;
+  cluster::Assignment current_;
+  ThroughputOracle oracle_;
+  elastic::ScalingCostModel cost_model_;
+  telemetry::MetricsCollector metrics_;
+
+  std::unordered_map<JobId, JobRuntime> runtimes_;
+  std::vector<JobId> arrived_order_;
+  std::size_t completed_count_ = 0;
+  std::uint64_t deployments_ = 0;
+  bool in_notify_ = false;
+};
+
+}  // namespace ones::sched

@@ -1,0 +1,76 @@
+#include "sched/srtf.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "sched/oracle.hpp"
+#include "sched/placement.hpp"
+
+namespace ones::sched {
+
+std::optional<cluster::Assignment> SrtfOracleScheduler::on_event(
+    const ClusterState& state, const SchedulerEvent& event) {
+  (void)event;
+  ONES_EXPECT_MSG(state.true_remaining_samples != nullptr,
+                  "SRTF* requires the simulator oracle hook");
+
+  struct Cand {
+    const JobView* job;
+    double remaining_s;
+  };
+  std::vector<Cand> cands;
+  for (const JobView* job : state.active_jobs()) {
+    const double rem = state.true_remaining_samples(job->spec.id, job->spec.requested_batch);
+    const double x = state.oracle->estimate_sps(*job, job->spec.requested_gpus,
+                                                job->spec.requested_batch,
+                                                state.oracle->can_colocate(job->spec.requested_gpus));
+    cands.push_back({job, rem / x});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.remaining_s != b.remaining_s) return a.remaining_s < b.remaining_s;
+    return a.job->spec.id < b.job->spec.id;
+  });
+
+  // Greedy selection with skip-over: shortest jobs first, fit what we can.
+  int capacity = state.topology->total_gpus();
+  std::vector<const JobView*> selected;
+  for (const Cand& c : cands) {
+    if (c.job->spec.requested_gpus <= capacity) {
+      selected.push_back(c.job);
+      capacity -= c.job->spec.requested_gpus;
+    }
+  }
+
+  // No change if the selected set matches what is already running.
+  const auto running = state.current->running_jobs();
+  if (selected.size() == running.size()) {
+    bool same = true;
+    for (const JobView* j : selected) {
+      if (std::find(running.begin(), running.end(), j->spec.id) == running.end()) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return std::nullopt;
+  }
+
+  cluster::Assignment next(state.topology->total_gpus());
+  // Keep the placement of jobs that stay scheduled (avoid pointless moves).
+  for (const JobView* j : selected) {
+    if (j->status == JobStatus::Running) {
+      for (GpuId g : state.current->gpus_of(j->spec.id)) {
+        next.place(g, j->spec.id, state.current->slot(g).local_batch);
+      }
+    }
+  }
+  for (const JobView* j : selected) {
+    if (j->status != JobStatus::Running) {
+      const auto gpus = pick_idle_gpus(next, *state.topology, j->spec.requested_gpus);
+      ONES_EXPECT_MSG(!gpus.empty(), "capacity accounting broke in SRTF*");
+      place_job_even(next, j->spec.id, gpus, j->spec.requested_batch);
+    }
+  }
+  return next;
+}
+
+}  // namespace ones::sched

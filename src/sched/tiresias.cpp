@@ -1,0 +1,85 @@
+#include "sched/tiresias.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "sched/placement.hpp"
+
+namespace ones::sched {
+
+int TiresiasScheduler::queue_of(const JobView& job) const {
+  const double service = static_cast<double>(job.spec.requested_gpus) * job.exec_time_s;
+  int q = 0;
+  for (double threshold : config_.queue_thresholds) {
+    if (service < threshold) return q;
+    ++q;
+  }
+  return q;
+}
+
+std::optional<cluster::Assignment> TiresiasScheduler::on_event(const ClusterState& state,
+                                                               const SchedulerEvent& event) {
+  (void)event;
+
+  struct Cand {
+    const JobView* job;
+    int queue;
+    double waited;
+  };
+  std::vector<Cand> cands;
+  for (const JobView* job : state.active_jobs()) {
+    int q = queue_of(*job);
+    if (config_.promote_knob > 0.0 && job->status == JobStatus::Waiting) {
+      const double waited = state.now - job->spec.arrival_time_s - job->exec_time_s;
+      if (job->exec_time_s > 0.0 && waited > config_.promote_knob * job->exec_time_s) {
+        q = 0;  // STARVE-FREE promotion
+      }
+    }
+    cands.push_back({job, q, 0.0});
+  }
+  // Priority: lower queue first; FIFO (arrival order) within a queue.
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.queue != b.queue) return a.queue < b.queue;
+    return a.job->spec.id < b.job->spec.id;
+  });
+
+  int capacity = state.topology->total_gpus();
+  std::vector<const JobView*> selected;
+  for (const Cand& c : cands) {
+    if (c.job->spec.requested_gpus <= capacity) {
+      selected.push_back(c.job);
+      capacity -= c.job->spec.requested_gpus;
+    }
+  }
+
+  const auto running = state.current->running_jobs();
+  if (selected.size() == running.size()) {
+    bool same = true;
+    for (const JobView* j : selected) {
+      if (std::find(running.begin(), running.end(), j->spec.id) == running.end()) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return std::nullopt;
+  }
+
+  cluster::Assignment next(state.topology->total_gpus());
+  for (const JobView* j : selected) {
+    if (j->status == JobStatus::Running) {
+      for (GpuId g : state.current->gpus_of(j->spec.id)) {
+        next.place(g, j->spec.id, state.current->slot(g).local_batch);
+      }
+    }
+  }
+  for (const JobView* j : selected) {
+    if (j->status != JobStatus::Running) {
+      const auto gpus = pick_idle_gpus(next, *state.topology, j->spec.requested_gpus);
+      ONES_EXPECT_MSG(!gpus.empty(), "capacity accounting broke in Tiresias");
+      place_job_even(next, j->spec.id, gpus, j->spec.requested_batch);
+    }
+  }
+  return next;
+}
+
+}  // namespace ones::sched

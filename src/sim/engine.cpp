@@ -1,0 +1,72 @@
+#include "sim/engine.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace ones::sim {
+
+EventId SimEngine::schedule_at(SimTime when, std::function<void()> fn) {
+  ONES_EXPECT_MSG(std::isfinite(when), "event time must be finite");
+  ONES_EXPECT_MSG(when >= now_, "cannot schedule events in the past");
+  ONES_EXPECT(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId SimEngine::schedule_after(SimTime delay, std::function<void()> fn) {
+  ONES_EXPECT_MSG(delay >= 0.0, "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool SimEngine::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool SimEngine::step() {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    auto cit = cancelled_.find(top.id);
+    if (cit != cancelled_.end()) {
+      cancelled_.erase(cit);
+      continue;
+    }
+    auto it = callbacks_.find(top.id);
+    ONES_EXPECT(it != callbacks_.end());
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.when;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void SimEngine::run_until(SimTime limit) {
+  while (!queue_.empty()) {
+    // Peek past cancelled entries without firing.
+    Entry top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      queue_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.when > limit) break;
+    step();
+  }
+  if (now_ < limit) now_ = limit;
+}
+
+void SimEngine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace ones::sim

@@ -1,0 +1,85 @@
+// Deterministic discrete-event simulation engine.
+//
+// The engine owns a priority queue of timestamped callbacks. Events scheduled
+// for the same instant fire in scheduling order (FIFO tie-break on a sequence
+// counter), which makes runs bit-reproducible. All simulated components —
+// job arrivals, epoch completions, scaling protocol steps, periodic
+// reschedulers — are expressed as events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace ones::sim {
+
+/// Simulated time in seconds since the start of the run.
+using SimTime = double;
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+
+class SimEngine {
+ public:
+  SimEngine() = default;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `when` (>= now). Returns a handle.
+  EventId schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_after(SimTime delay, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled (both are benign — cancellation is idempotent).
+  bool cancel(EventId id);
+
+  /// Fire the next pending event, advancing the clock. Returns false when the
+  /// queue is empty.
+  bool step();
+
+  /// Run until the queue drains or the clock passes `limit`.
+  /// Events scheduled exactly at `limit` still fire.
+  void run_until(SimTime limit);
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// Total number of events fired so far.
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    // min-heap on (when, seq)
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+  // Callbacks are kept out of the heap entries so cancellation can free them.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace ones::sim

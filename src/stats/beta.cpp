@@ -1,0 +1,136 @@
+#include "stats/beta.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace ones::stats {
+
+double log_beta_fn(double a, double b) {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+double digamma(double x) {
+  ONES_EXPECT(x > 0.0);
+  double result = 0.0;
+  // Recurrence psi(x) = psi(x+1) - 1/x until x is large enough for the
+  // asymptotic series.
+  while (x < 12.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  // Asymptotic expansion: ln x - 1/(2x) - 1/(12x^2) + 1/(120x^4) - 1/(252x^6).
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+  return result;
+}
+
+namespace {
+
+// Lentz continued fraction for the incomplete beta function
+// (Numerical Recipes style).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-14;
+  constexpr double kTiny = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = static_cast<double>(m) * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  ONES_EXPECT(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = a * std::log(x) + b * std::log(1.0 - x) - log_beta_fn(a, b);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+BetaDistribution::BetaDistribution(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+  ONES_EXPECT_MSG(alpha > 0.0 && beta > 0.0, "Beta parameters must be positive");
+}
+
+double BetaDistribution::variance() const {
+  const double s = alpha_ + beta_;
+  return alpha_ * beta_ / (s * s * (s + 1.0));
+}
+
+double BetaDistribution::mode() const {
+  if (alpha_ > 1.0 && beta_ > 1.0) {
+    return (alpha_ - 1.0) / (alpha_ + beta_ - 2.0);
+  }
+  return mean();
+}
+
+double BetaDistribution::pdf(double x) const {
+  if (x <= 0.0 || x >= 1.0) return 0.0;
+  return std::exp(log_pdf(x));
+}
+
+double BetaDistribution::log_pdf(double x) const {
+  if (x <= 0.0 || x >= 1.0) return -std::numeric_limits<double>::infinity();
+  return (alpha_ - 1.0) * std::log(x) + (beta_ - 1.0) * std::log(1.0 - x) -
+         log_beta_fn(alpha_, beta_);
+}
+
+double BetaDistribution::cdf(double x) const { return incomplete_beta(alpha_, beta_, x); }
+
+double BetaDistribution::quantile(double p) const {
+  ONES_EXPECT(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::pair<double, double> BetaDistribution::credible_interval(double coverage) const {
+  ONES_EXPECT(coverage > 0.0 && coverage < 1.0);
+  const double tail = 0.5 * (1.0 - coverage);
+  return {quantile(tail), quantile(1.0 - tail)};
+}
+
+}  // namespace ones::stats

@@ -1,0 +1,57 @@
+// Beta distribution Be(alpha, beta) on (0, 1).
+//
+// ONES models the *training progress* rho of each job as a Beta random
+// variable (paper §3.2.1, Eq. 6): alpha approximates the number of processed
+// epochs and beta the predicted number of epochs still to process. This file
+// provides the density, CDF (regularized incomplete beta), moments, quantiles
+// and sampling needed by the predictor and by Algorithm 1.
+#pragma once
+
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace ones::stats {
+
+/// Natural log of the Beta function B(a, b).
+double log_beta_fn(double a, double b);
+
+/// Digamma function psi(x) = d/dx ln Gamma(x), x > 0 (recurrence +
+/// asymptotic series). Needed for Beta log-likelihood gradients.
+double digamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b) for x in [0, 1].
+double incomplete_beta(double a, double b, double x);
+
+class BetaDistribution {
+ public:
+  /// Requires alpha > 0 and beta > 0.
+  BetaDistribution(double alpha, double beta);
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+  double mean() const { return alpha_ / (alpha_ + beta_); }
+  double variance() const;
+  /// Mode; defined for alpha, beta > 1 (the unimodal regime the paper
+  /// enforces via its >= 1 thresholds). Falls back to the mean otherwise.
+  double mode() const;
+
+  double pdf(double x) const;
+  double log_pdf(double x) const;
+  double cdf(double x) const;
+  /// Inverse CDF by bisection (accurate to ~1e-10).
+  double quantile(double p) const;
+
+  /// Central credible interval [lo, hi] covering `coverage` mass
+  /// (e.g. 0.9 for the paper's Figure 6 bands).
+  std::pair<double, double> credible_interval(double coverage) const;
+
+  double sample(Rng& rng) const { return rng.beta(alpha_, beta_); }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace ones::stats

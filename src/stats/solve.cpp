@@ -1,0 +1,108 @@
+#include "stats/solve.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace ones::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  ONES_EXPECT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  ONES_EXPECT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  ONES_EXPECT(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = at(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) += v * rhs.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  ONES_EXPECT(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out.at(r, c) = at(r, c) + rhs.at(r, c);
+  return out;
+}
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  ONES_EXPECT(a.cols() == n && b.size() == n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a.at(r, col)) > std::fabs(a.at(pivot, col))) pivot = r;
+    }
+    ONES_EXPECT_MSG(std::fabs(a.at(pivot, col)) > 1e-12, "singular matrix in solve_linear");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(pivot, c), a.at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a.at(ri, c) * x[c];
+    x[ri] = sum / a.at(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> ridge_regression(const Matrix& x, const std::vector<double>& y,
+                                     double lambda) {
+  ONES_EXPECT(x.rows() == y.size());
+  ONES_EXPECT(lambda >= 0.0);
+  const Matrix xt = x.transpose();
+  Matrix gram = xt * x;
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram.at(i, i) += lambda;
+  // xt * y
+  std::vector<double> rhs(x.cols(), 0.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) s += x.at(r, c) * y[r];
+    rhs[c] = s;
+  }
+  return solve_linear(gram, rhs);
+}
+
+}  // namespace ones::stats

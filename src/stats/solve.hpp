@@ -1,0 +1,44 @@
+// Small dense linear algebra: Gaussian elimination and (ridge-regularized)
+// ordinary least squares. Dimensions in this project are tiny (the progress
+// predictor has 5 features), so an O(n^3) solver is exactly right.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ones::stats {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  static Matrix identity(std::size_t n);
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Throws std::logic_error if A is (numerically) singular.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Ridge-regularized least squares: minimize ||X w - y||^2 + lambda ||w||^2.
+/// X is n x d (rows = samples), y has n entries; returns d weights.
+/// lambda = 0 gives OLS; a small lambda keeps the normal equations
+/// well-conditioned when features are collinear.
+std::vector<double> ridge_regression(const Matrix& x, const std::vector<double>& y,
+                                     double lambda);
+
+}  // namespace ones::stats

@@ -1,0 +1,62 @@
+#include "telemetry/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace ones::telemetry {
+
+void write_jobs_csv(std::ostream& os, const MetricsCollector& metrics) {
+  os << "job_id,arrival_s,completion_s,jct_s,exec_s,queue_s,preemptions,aborted\n";
+  for (JobId id : metrics.job_ids()) {
+    const auto& m = metrics.job(id);
+    if (!m.completed()) continue;
+    os << m.id << ',' << m.arrival_s << ',' << m.completion_s << ',' << m.jct() << ','
+       << m.exec_time_s << ',' << m.queue_time() << ',' << m.preemptions << ','
+       << (m.aborted ? 1 : 0) << '\n';
+  }
+}
+
+void write_ecdf_csv(std::ostream& os, const std::vector<double>& values,
+                    const std::string& value_header) {
+  os << value_header << ",cum_fraction\n";
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    os << sorted[i] << ',' << static_cast<double>(i + 1) / n << '\n';
+  }
+}
+
+std::string summary_to_json(const Summary& s) {
+  std::ostringstream os;
+  os << "{\"scheduler\":\"" << s.scheduler << "\",\"jobs\":" << s.jobs
+     << ",\"avg_jct_s\":" << s.avg_jct << ",\"avg_exec_s\":" << s.avg_exec
+     << ",\"avg_queue_s\":" << s.avg_queue << ",\"p50_jct_s\":" << s.p50_jct
+     << ",\"p90_jct_s\":" << s.p90_jct << ",\"max_jct_s\":" << s.max_jct
+     << ",\"makespan_s\":" << s.makespan << ",\"utilization\":" << s.utilization << "}";
+  return os.str();
+}
+
+std::string summaries_to_json(const std::vector<Summary>& summaries) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    if (i > 0) os << ",";
+    os << summary_to_json(summaries[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream f(path, std::ios::binary);
+  ONES_EXPECT_MSG(f.good(), "cannot open " + path + " for writing");
+  f << contents;
+  ONES_EXPECT_MSG(f.good(), "write to " + path + " failed");
+}
+
+}  // namespace ones::telemetry

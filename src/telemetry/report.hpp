@@ -1,0 +1,31 @@
+// Machine-readable exporters for run results: CSV (per-job rows, ECDF
+// series) and a compact JSON summary. Benches and examples use these to
+// hand results to plotting scripts without re-parsing console tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace ones::telemetry {
+
+/// Write one row per finished job:
+/// job_id,arrival_s,completion_s,jct_s,exec_s,queue_s,preemptions,aborted
+void write_jobs_csv(std::ostream& os, const MetricsCollector& metrics);
+
+/// Write an empirical CDF of `values` as "value,cum_fraction" rows.
+void write_ecdf_csv(std::ostream& os, const std::vector<double>& values,
+                    const std::string& value_header = "value");
+
+/// Serialize a Summary as a single JSON object (flat, stable key order).
+std::string summary_to_json(const Summary& summary);
+
+/// Serialize several summaries as a JSON array.
+std::string summaries_to_json(const std::vector<Summary>& summaries);
+
+/// Convenience: write a string to a file; throws on I/O failure.
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace ones::telemetry

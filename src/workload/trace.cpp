@@ -1,0 +1,121 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace ones::workload {
+
+namespace {
+
+std::vector<WorkloadVariant> make_variants() {
+  std::vector<WorkloadVariant> v;
+
+  // CV on ImageNet subsets: sizes 10k..20k step 2k, classes 10..20 step 2.
+  const char* imagenet_models[] = {"AlexNet", "ResNet50", "VGG16", "InceptionV3"};
+  for (const char* m : imagenet_models) {
+    for (int i = 0; i < 6; ++i) {
+      const int size_k = 10 + 2 * i;
+      v.push_back({m, "ImageNet-" + std::to_string(size_k) + "k",
+                   static_cast<std::int64_t>(size_k) * 1000, 10 + 2 * i});
+    }
+  }
+
+  // CV on CIFAR10 subsets: sizes 20k..40k step 5k, 10 classes.
+  const char* cifar_models[] = {"ResNet18", "VGG16-CIFAR", "GoogleNet"};
+  for (const char* m : cifar_models) {
+    for (int i = 0; i < 5; ++i) {
+      const int size_k = 20 + 5 * i;
+      v.push_back({m, "CIFAR10-" + std::to_string(size_k) + "k",
+                   static_cast<std::int64_t>(size_k) * 1000, 10});
+    }
+  }
+
+  // NLP: BERT fine-tuning on GLUE subsets.
+  for (int size_k = 5; size_k <= 8; ++size_k) {  // CoLA 5k..8k
+    v.push_back({"BERT", "CoLA-" + std::to_string(size_k) + "k",
+                 static_cast<std::int64_t>(size_k) * 1000, 2});
+  }
+  v.push_back({"BERT", "MRPC-3.6k", 3600, 2});
+  for (int i = 0; i < 6; ++i) {  // SST-2 10k..20k step 2k
+    const int size_k = 10 + 2 * i;
+    v.push_back({"BERT", "SST2-" + std::to_string(size_k) + "k",
+                 static_cast<std::int64_t>(size_k) * 1000, 2});
+  }
+
+  ONES_EXPECT_MSG(v.size() == 50, "Table 2 must contain exactly 50 variants");
+  return v;
+}
+
+}  // namespace
+
+const std::vector<WorkloadVariant>& table2_variants() {
+  static const std::vector<WorkloadVariant> variants = make_variants();
+  return variants;
+}
+
+std::vector<JobSpec> generate_trace(const TraceConfig& config) {
+  ONES_EXPECT(config.num_jobs > 0);
+  ONES_EXPECT(config.mean_interarrival_s > 0.0);
+
+  Rng rng(config.seed);
+  const auto& variants = table2_variants();
+
+  std::vector<JobSpec> trace;
+  trace.reserve(static_cast<std::size_t>(config.num_jobs));
+  double t = 0.0;
+  for (int i = 0; i < config.num_jobs; ++i) {
+    if (i > 0) {
+      t += config.poisson_arrivals ? rng.exponential(1.0 / config.mean_interarrival_s)
+                                   : config.mean_interarrival_s;
+    }
+    JobSpec spec;
+    spec.id = i;
+    spec.variant = variants[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(variants.size()) - 1))];
+    spec.arrival_time_s = t;
+
+    // Production DL traces are dominated by small jobs; weight {1,2,4} GPUs.
+    const std::size_t pick = rng.weighted_index({0.5, 0.3, 0.2});
+    spec.requested_gpus = 1 << pick;
+
+    // Users commonly submit a fixed *local* batch, so the requested global
+    // batch grows with the requested worker count (§2.2). The local batch is
+    // capped by what fits in GPU memory.
+    const auto& profile = model::profile_by_name(spec.variant.model_name);
+    const int local = std::min(profile.b_ref, profile.max_local_batch);
+    spec.requested_batch = local * spec.requested_gpus;
+
+    std::uint64_t mix = config.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
+    spec.dynamics_seed = splitmix64(mix);
+
+    if (config.abnormal_fraction > 0.0 && rng.bernoulli(config.abnormal_fraction)) {
+      spec.kill_after_s = rng.exponential(1.0 / config.abnormal_mean_lifetime_s);
+    }
+    trace.push_back(spec);
+  }
+  return trace;
+}
+
+std::string format_table2() {
+  std::ostringstream os;
+  os << "Table 2: workloads in the evaluation trace (50 variants)\n";
+  os << "---------------------------------------------------------------\n";
+  std::string last_model;
+  for (const auto& v : table2_variants()) {
+    const auto& p = model::profile_by_name(v.model_name);
+    os << "  " << family_name(p.family) << "  " << v.model_name;
+    for (std::size_t pad = v.model_name.size(); pad < 14; ++pad) os << ' ';
+    os << v.dataset;
+    for (std::size_t pad = v.dataset.size(); pad < 16; ++pad) os << ' ';
+    os << "||D||=" << v.dataset_size << "  classes=" << v.num_classes << "\n";
+    last_model = v.model_name;
+  }
+  os << "---------------------------------------------------------------\n";
+  os << "  total variants: " << table2_variants().size() << "\n";
+  return os.str();
+}
+
+}  // namespace ones::workload

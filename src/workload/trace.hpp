@@ -1,0 +1,78 @@
+// Trace-driven workload generation (paper §4.1, Table 2).
+//
+// The paper evaluates on custom traces over 50 distinct workload variants:
+//   CV / ImageNet subsets : AlexNet, ResNet50, VGG16, InceptionV3
+//                           x dataset sizes 10k..20k (step 2k)    -> 24
+//   CV / CIFAR10 subsets  : ResNet18, VGG16, GoogleNet
+//                           x dataset sizes 20k..40k (step 5k)    -> 15
+//   NLP / BERT            : CoLA 5k..8k (4), MRPC 3.6k (1),
+//                           SST-2 10k..20k step 2k (6)            -> 11
+// Total 4*6 + 3*5 + 4 + 1 + 6 = 50 (paper's arithmetic).
+//
+// A trace is a sequence of JobSpecs with Poisson arrivals; each job carries
+// the user-submitted configuration (requested GPUs + batch size) that
+// non-elastic baselines must honor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "model/task.hpp"
+
+namespace ones::workload {
+
+/// One of the 50 (model, dataset) combinations of Table 2.
+struct WorkloadVariant {
+  std::string model_name;      ///< task profile name (see model::builtin_profiles)
+  std::string dataset;         ///< e.g. "ImageNet-12k", "CoLA-6k"
+  std::int64_t dataset_size;   ///< ||D||, samples per epoch
+  int num_classes;
+};
+
+/// The full Table 2 catalog (exactly 50 variants).
+const std::vector<WorkloadVariant>& table2_variants();
+
+/// A submitted job.
+struct JobSpec {
+  JobId id = kInvalidJob;
+  WorkloadVariant variant;
+  double arrival_time_s = 0.0;
+  /// User-requested worker count (gang size for non-elastic schedulers).
+  int requested_gpus = 1;
+  /// User-requested global batch size.
+  int requested_batch = 256;
+  /// Seed for this job's training dynamics (accuracy noise).
+  std::uint64_t dynamics_seed = 0;
+  /// If > 0, the job is killed this many seconds after submission (user
+  /// abort / crash / early stop — §2.1's "not all DL jobs end normally").
+  double kill_after_s = 0.0;
+};
+
+struct TraceConfig {
+  int num_jobs = 120;
+  /// Mean inter-arrival time (Poisson process). The paper's scale-down
+  /// policy uses sigma = lambda = 1 / mean_interarrival_s.
+  double mean_interarrival_s = 30.0;
+  std::uint64_t seed = 42;
+  /// If false, arrivals are evenly spaced instead of exponential.
+  bool poisson_arrivals = true;
+  /// Fraction of jobs that end abnormally (killed / crashed / early-stopped)
+  /// instead of training to convergence.
+  double abnormal_fraction = 0.0;
+  /// Mean time-to-kill (exponential) for abnormal jobs, from submission.
+  double abnormal_mean_lifetime_s = 300.0;
+};
+
+/// Draw a trace: variants sampled uniformly from Table 2, arrivals from a
+/// Poisson process, requested GPU counts from {1, 2, 4} (weighted toward
+/// small, as in production DL traces), batch = the profile's reference batch
+/// scaled by the requested worker count (the common fixed-local-batch
+/// submission habit the paper describes).
+std::vector<JobSpec> generate_trace(const TraceConfig& config);
+
+/// Render the Table 2 catalog as text (used by bench/table2_workloads).
+std::string format_table2();
+
+}  // namespace ones::workload

@@ -1,0 +1,95 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "model/task.hpp"
+
+namespace ones::workload {
+
+namespace {
+constexpr const char* kHeader =
+    "id,model,dataset,dataset_size,num_classes,arrival_s,requested_gpus,"
+    "requested_batch,dynamics_seed,kill_after_s";
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  // A trailing empty field is dropped by getline; our schema has none.
+  return fields;
+}
+}  // namespace
+
+void write_trace_csv(std::ostream& os, const std::vector<JobSpec>& trace) {
+  os << kHeader << '\n';
+  os.precision(17);  // exact double round-trip
+  for (const auto& spec : trace) {
+    ONES_EXPECT_MSG(spec.variant.model_name.find(',') == std::string::npos &&
+                        spec.variant.dataset.find(',') == std::string::npos,
+                    "names must not contain commas");
+    os << spec.id << ',' << spec.variant.model_name << ',' << spec.variant.dataset
+       << ',' << spec.variant.dataset_size << ',' << spec.variant.num_classes << ','
+       << spec.arrival_time_s << ',' << spec.requested_gpus << ','
+       << spec.requested_batch << ',' << spec.dynamics_seed << ',' << spec.kill_after_s
+       << '\n';
+  }
+}
+
+std::vector<JobSpec> read_trace_csv(std::istream& is) {
+  std::string line;
+  ONES_EXPECT_MSG(static_cast<bool>(std::getline(is, line)), "empty trace file");
+  ONES_EXPECT_MSG(line == kHeader, "unexpected trace CSV header: " + line);
+
+  std::vector<JobSpec> trace;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto f = split_csv_line(line);
+    ONES_EXPECT_MSG(f.size() == 10,
+                    "line " + std::to_string(line_no) + ": expected 10 fields");
+    try {
+      JobSpec spec;
+      spec.id = std::stoll(f[0]);
+      spec.variant.model_name = f[1];
+      spec.variant.dataset = f[2];
+      spec.variant.dataset_size = std::stoll(f[3]);
+      spec.variant.num_classes = std::stoi(f[4]);
+      spec.arrival_time_s = std::stod(f[5]);
+      spec.requested_gpus = std::stoi(f[6]);
+      spec.requested_batch = std::stoi(f[7]);
+      spec.dynamics_seed = std::stoull(f[8]);
+      spec.kill_after_s = std::stod(f[9]);
+      // Validate against the catalog and basic feasibility.
+      (void)model::profile_by_name(spec.variant.model_name);
+      ONES_EXPECT(spec.variant.dataset_size > 0);
+      ONES_EXPECT(spec.requested_gpus >= 1);
+      ONES_EXPECT(spec.requested_batch >= spec.requested_gpus);
+      ONES_EXPECT(spec.arrival_time_s >= 0.0);
+      trace.push_back(std::move(spec));
+    } catch (const std::invalid_argument&) {
+      ONES_EXPECT_MSG(false, "line " + std::to_string(line_no) + ": non-numeric field");
+    } catch (const std::out_of_range&) {
+      ONES_EXPECT_MSG(false, "line " + std::to_string(line_no) + ": value out of range");
+    }
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const std::vector<JobSpec>& trace) {
+  std::ofstream f(path, std::ios::binary);
+  ONES_EXPECT_MSG(f.good(), "cannot open " + path + " for writing");
+  write_trace_csv(f, trace);
+  ONES_EXPECT_MSG(f.good(), "write to " + path + " failed");
+}
+
+std::vector<JobSpec> load_trace(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  ONES_EXPECT_MSG(f.good(), "cannot open " + path);
+  return read_trace_csv(f);
+}
+
+}  // namespace ones::workload

@@ -1,0 +1,171 @@
+// Unit tests for src/elastic: the scaling cost models (Fig 16 shape) and
+// the discrete-event scaling protocol (Figs 11/12 flow).
+#include <gtest/gtest.h>
+
+#include "cluster/topology.hpp"
+#include "elastic/cost_model.hpp"
+#include "elastic/protocol.hpp"
+#include "model/task.hpp"
+#include "sim/engine.hpp"
+
+namespace ones::elastic {
+namespace {
+
+cluster::Topology small_topology() {
+  cluster::TopologyConfig c;
+  c.num_nodes = 2;
+  c.gpus_per_node = 4;
+  return cluster::Topology(c);
+}
+
+cluster::LinkProfile nvlink() { return {130.0e9, 5e-6}; }
+
+TEST(CostModel, ElasticCostIsAboutASecond) {
+  ScalingCostModel m;
+  for (const auto& p : model::builtin_profiles()) {
+    const double cost = m.elastic_cost_s(p, 2, 4, nvlink());
+    EXPECT_GT(cost, 0.1) << p.name;
+    EXPECT_LT(cost, 3.0) << p.name;  // "basically around 1 second" (§4.3)
+  }
+}
+
+TEST(CostModel, CheckpointCostIsTensOfSeconds) {
+  ScalingCostModel m;
+  for (const auto& p : model::builtin_profiles()) {
+    const double cost = m.checkpoint_cost_s(p, 4);
+    EXPECT_GT(cost, 15.0) << p.name;   // "greater than 20 seconds" for most
+    EXPECT_LT(cost, 120.0) << p.name;
+  }
+}
+
+TEST(CostModel, CheckpointDwarfsElastic) {
+  // The headline of Fig 16: at least an order of magnitude apart.
+  ScalingCostModel m;
+  for (const auto& p : model::builtin_profiles()) {
+    EXPECT_GT(m.checkpoint_cost_s(p, 4) / m.elastic_cost_s(p, 2, 4, nvlink()), 10.0)
+        << p.name;
+  }
+}
+
+TEST(CostModel, BiggerModelsCostMoreToCheckpoint) {
+  ScalingCostModel m;
+  const auto& vgg = model::profile_by_name("VGG16");       // 552 MB
+  const auto& gnet = model::profile_by_name("GoogleNet");  // 26 MB
+  EXPECT_GT(m.checkpoint_cost_s(vgg, 2), m.checkpoint_cost_s(gnet, 2));
+}
+
+TEST(CostModel, GrowingChargesBroadcastShrinkingDoesNot) {
+  ScalingCostModel m;
+  const auto& p = model::profile_by_name("VGG16");
+  const double grow = m.elastic_cost_s(p, 2, 4, nvlink());
+  const double shrink = m.elastic_cost_s(p, 4, 2, nvlink());
+  EXPECT_GT(grow, shrink);
+}
+
+TEST(CostModel, ColdStartBetweenElasticAndCheckpoint) {
+  ScalingCostModel m;
+  const auto& p = model::profile_by_name("ResNet50");
+  const double cold = m.cold_start_cost_s(p);
+  EXPECT_GT(cold, m.elastic_cost_s(p, 1, 1, nvlink()));
+  EXPECT_LT(cold, m.checkpoint_cost_s(p, 1));
+}
+
+ScalingRequest grow_request() {
+  ScalingRequest r;
+  r.job = 1;
+  r.old_workers = {0, 1};
+  r.new_workers = {0, 1, 2, 3};
+  r.old_global_batch = 512;
+  r.new_global_batch = 1024;
+  return r;
+}
+
+TEST(Protocol, ElasticSessionPhasesAreOrdered) {
+  sim::SimEngine engine;
+  const auto topo = small_topology();
+  const auto& p = model::profile_by_name("ResNet50");
+  ScalingReport report;
+  bool done = false;
+  ScalingSession session(engine, p, topo, CostConfig{}, grow_request(),
+                         [&](const ScalingReport& r) {
+                           report = r;
+                           done = true;
+                         });
+  session.start();
+  engine.run();
+  ASSERT_TRUE(done);
+  EXPECT_LE(report.started_at, report.new_workers_ready_at);
+  EXPECT_LE(report.new_workers_ready_at, report.paused_at);
+  EXPECT_LT(report.paused_at, report.resumed_at);
+  EXPECT_DOUBLE_EQ(report.blocked_s, report.resumed_at - report.paused_at);
+  EXPECT_FALSE(report.timeline.empty());
+}
+
+TEST(Protocol, BackgroundInitOverlapsTraining) {
+  // The job is only blocked from pause to resume; the (much longer) new
+  // worker initialization overlaps with training (Fig 12).
+  sim::SimEngine engine;
+  const auto topo = small_topology();
+  const auto& p = model::profile_by_name("BERT");  // heavyweight init
+  ScalingReport report;
+  ScalingSession session(engine, p, topo, CostConfig{}, grow_request(),
+                         [&](const ScalingReport& r) { report = r; });
+  session.start();
+  engine.run();
+  EXPECT_LT(report.blocked_s, 2.5);
+  EXPECT_GT(report.total_s, report.blocked_s * 2.0);
+}
+
+TEST(Protocol, ShrinkSkipsInitAndBroadcast) {
+  sim::SimEngine engine;
+  const auto topo = small_topology();
+  const auto& p = model::profile_by_name("ResNet50");
+  ScalingRequest r;
+  r.job = 1;
+  r.old_workers = {0, 1, 2, 3};
+  r.new_workers = {0, 1};
+  r.old_global_batch = 1024;
+  r.new_global_batch = 512;
+  ScalingReport report;
+  ScalingSession session(engine, p, topo, CostConfig{}, r,
+                         [&](const ScalingReport& rep) { report = rep; });
+  session.start();
+  engine.run();
+  // No background init: the session starts draining immediately.
+  EXPECT_DOUBLE_EQ(report.new_workers_ready_at, report.started_at);
+  EXPECT_LT(report.blocked_s, 1.5);
+}
+
+TEST(Protocol, CheckpointMigrationBlocksEndToEnd) {
+  sim::SimEngine engine;
+  const auto& p = model::profile_by_name("VGG16");
+  const auto report = run_checkpoint_migration(engine, p, CostConfig{}, grow_request());
+  EXPECT_DOUBLE_EQ(report.blocked_s, report.total_s);
+  EXPECT_GT(report.blocked_s, 20.0);
+  EXPECT_GE(report.timeline.size(), 5u);
+}
+
+TEST(Protocol, ElasticBlockedMatchesCostModelScale) {
+  // The fast cost model and the event-by-event protocol must agree on the
+  // order of magnitude of blocked time.
+  sim::SimEngine engine;
+  const auto topo = small_topology();
+  const auto& p = model::profile_by_name("ResNet50");
+  ScalingCostModel m;
+  ScalingReport report;
+  ScalingSession session(engine, p, topo, CostConfig{}, grow_request(),
+                         [&](const ScalingReport& r) { report = r; });
+  session.start();
+  engine.run();
+  const double model_cost = m.elastic_cost_s(p, 2, 4, topo.link_profile({0, 1, 2, 3}));
+  EXPECT_LT(std::abs(report.blocked_s - model_cost), 1.0);
+}
+
+TEST(Protocol, PhaseNamesAreStable) {
+  EXPECT_STREQ(phase_name(WorkerPhase::Idle), "idle");
+  EXPECT_STREQ(phase_name(WorkerPhase::Training), "training");
+  EXPECT_STREQ(phase_name(WorkerPhase::Running), "running");
+}
+
+}  // namespace
+}  // namespace ones::elastic

@@ -1,0 +1,153 @@
+// Failure-injection tests: abnormal job endings (killed / crashed jobs,
+// paper §2.1) across the trace generator, the simulation driver, the
+// metrics and the ONES predictor.
+#include <gtest/gtest.h>
+
+#include "core/ones_scheduler.hpp"
+#include "sched/fifo.hpp"
+#include "sched/simulation.hpp"
+#include "sched/tiresias.hpp"
+#include "workload/trace.hpp"
+
+namespace ones {
+namespace {
+
+workload::TraceConfig failing_trace_config(double fraction, int jobs = 16,
+                                           std::uint64_t seed = 3) {
+  workload::TraceConfig t;
+  t.num_jobs = jobs;
+  t.mean_interarrival_s = 12.0;
+  t.seed = seed;
+  t.abnormal_fraction = fraction;
+  t.abnormal_mean_lifetime_s = 120.0;
+  return t;
+}
+
+sched::SimulationConfig small_config() {
+  sched::SimulationConfig c;
+  c.topology.num_nodes = 2;
+  return c;
+}
+
+TEST(FailureTrace, FractionZeroMeansNoKills) {
+  const auto trace = workload::generate_trace(failing_trace_config(0.0, 100));
+  for (const auto& spec : trace) EXPECT_DOUBLE_EQ(spec.kill_after_s, 0.0);
+}
+
+TEST(FailureTrace, FractionProducesKillTimes) {
+  const auto trace = workload::generate_trace(failing_trace_config(0.5, 400));
+  int killed = 0;
+  for (const auto& spec : trace) {
+    if (spec.kill_after_s > 0.0) ++killed;
+  }
+  EXPECT_NEAR(static_cast<double>(killed) / 400.0, 0.5, 0.08);
+}
+
+TEST(FailureSim, AbortedJobsFreeResourcesAndFinishTheRun) {
+  sched::FifoScheduler fifo;
+  auto tc = failing_trace_config(0.4, 20);
+  const auto trace = workload::generate_trace(tc);
+  sched::ClusterSimulation sim(small_config(), trace, fifo);
+  sim.run();
+  EXPECT_TRUE(sim.all_completed());  // finished = converged or aborted
+  EXPECT_GT(sim.metrics().aborted(), 0u);
+  EXPECT_EQ(sim.metrics().aborted() + sim.metrics().completed(), trace.size());
+  // Cluster fully drained.
+  EXPECT_EQ(sim.current_assignment().idle_count(), sim.topology().total_gpus());
+  // Every aborted job's view is consistent.
+  for (const auto& spec : trace) {
+    const auto& v = sim.job_view(spec.id);
+    EXPECT_EQ(v.status, sched::JobStatus::Completed);
+    if (v.aborted) {
+      EXPECT_EQ(v.gpus, 0);
+      const auto& m = sim.metrics().job(spec.id);
+      EXPECT_TRUE(m.aborted);
+      // The job died roughly at its scheduled kill time.
+      EXPECT_NEAR(m.completion_s, spec.arrival_time_s + spec.kill_after_s, 1e-6);
+    }
+  }
+}
+
+TEST(FailureSim, AbortedJobsExcludedFromJctStatistics) {
+  sched::FifoScheduler fifo;
+  const auto trace = workload::generate_trace(failing_trace_config(0.4, 20));
+  sched::ClusterSimulation sim(small_config(), trace, fifo);
+  sim.run();
+  EXPECT_EQ(sim.metrics().jcts().size(), sim.metrics().completed());
+  EXPECT_LT(sim.metrics().jcts().size(), trace.size());
+}
+
+TEST(FailureSim, KillBeforeEverRunningIsHandled) {
+  // A job killed while still queued must not corrupt driver state.
+  workload::JobSpec spec;
+  spec.id = 0;
+  spec.variant = {"VGG16", "ImageNet-20k", 20000, 20};
+  spec.requested_gpus = 8;  // never fits a 4-GPU strict-FIFO window... use 8 GPUs
+  spec.requested_batch = 128 * 8;
+  spec.arrival_time_s = 0.0;
+  spec.dynamics_seed = 1;
+  spec.kill_after_s = 5.0;
+  workload::JobSpec blocker = spec;
+  blocker.id = 1;
+  blocker.kill_after_s = 0.0;
+  blocker.requested_gpus = 4;
+  blocker.requested_batch = 128 * 4;
+  blocker.arrival_time_s = 0.0;
+
+  // Strict FIFO on 8 GPUs: job 0 (8 GPUs) starts first; job 1 queues. Kill
+  // job 0 at t=5 while job 1 waits.
+  sched::FifoScheduler fifo;
+  sched::ClusterSimulation sim(small_config(), {spec, blocker}, fifo);
+  sim.run();
+  EXPECT_TRUE(sim.all_completed());
+  EXPECT_TRUE(sim.job_view(0).aborted);
+  EXPECT_FALSE(sim.job_view(1).aborted);
+}
+
+TEST(FailureSim, OnesCompletesAndPredictorSkipsAbortedJobs) {
+  core::OnesScheduler ones_sched;
+  const auto trace = workload::generate_trace(failing_trace_config(0.3, 24, 9));
+  sched::ClusterSimulation sim(small_config(), trace, ones_sched);
+  sim.run();
+  EXPECT_TRUE(sim.all_completed());
+  EXPECT_GT(sim.metrics().aborted(), 0u);
+
+  // Predictions for any surviving view stay proper Beta distributions.
+  for (const auto& spec : trace) {
+    const auto& v = sim.job_view(spec.id);
+    if (v.aborted) continue;
+    const auto dist = ones_sched.predictor().predict(v);
+    EXPECT_GE(dist.alpha(), 1.0);
+    EXPECT_GE(dist.beta(), 1.0);
+  }
+}
+
+TEST(FailureSim, TiresiasSurvivesHighFailureRates) {
+  sched::TiresiasScheduler tiresias;
+  const auto trace = workload::generate_trace(failing_trace_config(0.6, 24, 5));
+  sched::ClusterSimulation sim(small_config(), trace, tiresias);
+  sim.run();
+  EXPECT_TRUE(sim.all_completed());
+}
+
+TEST(FailureSim, ConvergedJobCancelsItsPendingKill) {
+  // A kill scheduled far in the future must be cancelled when the job
+  // converges first (no double-completion).
+  workload::JobSpec spec;
+  spec.id = 0;
+  spec.variant = {"ResNet18", "CIFAR10-20k", 20000, 10};
+  spec.requested_gpus = 1;
+  spec.requested_batch = 256;
+  spec.arrival_time_s = 0.0;
+  spec.dynamics_seed = 4;
+  spec.kill_after_s = 1e6;  // long after convergence
+  sched::FifoScheduler fifo;
+  sched::ClusterSimulation sim(small_config(), {spec}, fifo);
+  sim.run();
+  EXPECT_TRUE(sim.all_completed());
+  EXPECT_FALSE(sim.job_view(0).aborted);
+  EXPECT_EQ(sim.metrics().aborted(), 0u);
+}
+
+}  // namespace
+}  // namespace ones

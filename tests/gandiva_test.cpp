@@ -1,0 +1,98 @@
+// Tests for the Gandiva-style time-slicing baseline.
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "sched/fifo.hpp"
+#include "sched/gandiva.hpp"
+#include "sched/simulation.hpp"
+#include "telemetry/metrics.hpp"
+#include "workload/trace.hpp"
+
+namespace ones::sched {
+namespace {
+
+SimulationConfig small_config() {
+  SimulationConfig c;
+  c.topology.num_nodes = 2;
+  return c;
+}
+
+workload::TraceConfig trace_config(int jobs, double interarrival, std::uint64_t seed = 13) {
+  workload::TraceConfig t;
+  t.num_jobs = jobs;
+  t.mean_interarrival_s = interarrival;
+  t.seed = seed;
+  return t;
+}
+
+TEST(Gandiva, Properties) {
+  GandivaScheduler g;
+  EXPECT_EQ(g.name(), "Gandiva");
+  EXPECT_EQ(g.mechanism(), ScalingMechanism::Elastic);  // cheap suspend-resume
+  EXPECT_GT(g.period_s(), 0.0);                          // time-slicing quantum
+}
+
+TEST(Gandiva, CompletesAllJobs) {
+  GandivaScheduler g;
+  ClusterSimulation sim(small_config(), workload::generate_trace(trace_config(12, 15)),
+                        g);
+  sim.run();
+  EXPECT_TRUE(sim.all_completed());
+}
+
+TEST(Gandiva, TimeSlicesUnderOversubscription) {
+  // With far more jobs than GPUs, rotation must preempt long runners so
+  // everyone gets service (at least one job should be preempted).
+  GandivaConfig cfg;
+  cfg.quantum_s = 30.0;
+  GandivaScheduler g(cfg);
+  auto tc = trace_config(20, 3.0);
+  const auto trace = workload::generate_trace(tc);
+  ClusterSimulation sim(small_config(), trace, g);
+  sim.run();
+  EXPECT_TRUE(sim.all_completed());
+  int preemptions = 0;
+  for (const auto& spec : trace) preemptions += sim.metrics().job(spec.id).preemptions;
+  EXPECT_GT(preemptions, 0);
+}
+
+TEST(Gandiva, SharesServiceMoreFairlyThanFifo) {
+  // Time slicing should cut the p90 queuing time versus strict FIFO on a
+  // contended trace (long jobs cannot hog the cluster for a whole run).
+  auto tc = trace_config(24, 4.0, 17);
+  const auto trace = workload::generate_trace(tc);
+  double fifo_p90_queue, gandiva_p90_queue;
+  {
+    FifoScheduler s;
+    ClusterSimulation sim(small_config(), trace, s);
+    sim.run();
+    auto q = sim.metrics().queue_times();
+    fifo_p90_queue = ones::quantile(q, 0.9);
+  }
+  {
+    GandivaConfig cfg;
+    cfg.quantum_s = 45.0;
+    GandivaScheduler s(cfg);
+    ClusterSimulation sim(small_config(), trace, s);
+    sim.run();
+    auto q = sim.metrics().queue_times();
+    gandiva_p90_queue = ones::quantile(q, 0.9);
+  }
+  EXPECT_LT(gandiva_p90_queue, fifo_p90_queue * 1.5);
+}
+
+TEST(Gandiva, KeepsFixedJobSizes) {
+  GandivaScheduler g;
+  const auto trace = workload::generate_trace(trace_config(10, 10, 19));
+  ClusterSimulation sim(small_config(), trace, g);
+  sim.run();
+  for (const auto& spec : trace) {
+    const auto& v = sim.job_view(spec.id);
+    for (const auto& e : v.epoch_log) {
+      EXPECT_EQ(e.global_batch, spec.requested_batch) << spec.id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ones::sched

@@ -1,0 +1,161 @@
+// Unit tests for the discrete-event engine: ordering, cancellation,
+// run_until semantics, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace ones::sim {
+namespace {
+
+TEST(SimEngine, StartsAtZero) {
+  SimEngine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(SimEngine, FiresInTimeOrder) {
+  SimEngine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(SimEngine, FifoTieBreakAtSameInstant) {
+  SimEngine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimEngine, ScheduleAfterUsesCurrentTime) {
+  SimEngine e;
+  double fired_at = -1.0;
+  e.schedule_at(5.0, [&] {
+    e.schedule_after(2.0, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(SimEngine, CancelPreventsExecution) {
+  SimEngine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimEngine, CancelIsIdempotent) {
+  SimEngine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(SimEngine, CancelAfterFireReturnsFalse) {
+  SimEngine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(SimEngine, RunUntilStopsAtLimitButFiresEventsAtLimit) {
+  SimEngine e;
+  std::vector<double> fired;
+  e.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  e.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  e.schedule_at(3.0, [&] { fired.push_back(3.0); });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(SimEngine, RunUntilAdvancesClockEvenWithoutEvents) {
+  SimEngine e;
+  e.run_until(10.0);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(SimEngine, EventsCanScheduleMoreEvents) {
+  SimEngine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) e.schedule_after(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(e.now(), 9.0);
+}
+
+TEST(SimEngine, RejectsPastEvents) {
+  SimEngine e;
+  e.schedule_at(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(1.0, [] {}), std::logic_error);
+}
+
+TEST(SimEngine, RejectsNegativeDelay) {
+  SimEngine e;
+  EXPECT_THROW(e.schedule_after(-1.0, [] {}), std::logic_error);
+}
+
+TEST(SimEngine, RejectsNonFiniteTime) {
+  SimEngine e;
+  EXPECT_THROW(e.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+               std::logic_error);
+  EXPECT_THROW(e.schedule_at(std::numeric_limits<double>::quiet_NaN(), [] {}),
+               std::logic_error);
+}
+
+TEST(SimEngine, StepReturnsFalseWhenEmpty) {
+  SimEngine e;
+  EXPECT_FALSE(e.step());
+}
+
+TEST(SimEngine, FiredCounterCountsExecutedEvents) {
+  SimEngine e;
+  e.schedule_at(1.0, [] {});
+  const EventId id = e.schedule_at(2.0, [] {});
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(e.fired(), 1u);
+}
+
+TEST(SimEngine, PendingExcludesCancelled) {
+  SimEngine e;
+  e.schedule_at(1.0, [] {});
+  const EventId id = e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(id);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(SimEngine, ManyEventsStaySorted) {
+  SimEngine e;
+  std::vector<double> fired;
+  // Insert times in a scrambled deterministic order.
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    e.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  e.run();
+  ASSERT_EQ(fired.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+}  // namespace
+}  // namespace ones::sim

@@ -1,0 +1,160 @@
+// Unit tests for src/workload: the Table 2 catalog and trace generation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/math_util.hpp"
+#include "model/task.hpp"
+#include "workload/trace.hpp"
+
+namespace ones::workload {
+namespace {
+
+TEST(Table2, HasExactlyFiftyVariants) {
+  EXPECT_EQ(table2_variants().size(), 50u);
+}
+
+TEST(Table2, VariantCountsPerModelMatchThePaper) {
+  // 4 ImageNet models x 6 sizes + 3 CIFAR models x 5 sizes + BERT x 11.
+  std::map<std::string, int> counts;
+  for (const auto& v : table2_variants()) counts[v.model_name]++;
+  EXPECT_EQ(counts["AlexNet"], 6);
+  EXPECT_EQ(counts["ResNet50"], 6);
+  EXPECT_EQ(counts["VGG16"], 6);
+  EXPECT_EQ(counts["InceptionV3"], 6);
+  EXPECT_EQ(counts["ResNet18"], 5);
+  EXPECT_EQ(counts["VGG16-CIFAR"], 5);
+  EXPECT_EQ(counts["GoogleNet"], 5);
+  EXPECT_EQ(counts["BERT"], 11);
+}
+
+TEST(Table2, DatasetSizesMatchThePaper) {
+  std::set<std::int64_t> imagenet_sizes, cifar_sizes, bert_sizes;
+  for (const auto& v : table2_variants()) {
+    if (v.dataset.rfind("ImageNet", 0) == 0) imagenet_sizes.insert(v.dataset_size);
+    if (v.dataset.rfind("CIFAR10", 0) == 0) cifar_sizes.insert(v.dataset_size);
+    if (v.model_name == "BERT") bert_sizes.insert(v.dataset_size);
+  }
+  EXPECT_EQ(imagenet_sizes,
+            (std::set<std::int64_t>{10000, 12000, 14000, 16000, 18000, 20000}));
+  EXPECT_EQ(cifar_sizes, (std::set<std::int64_t>{20000, 25000, 30000, 35000, 40000}));
+  EXPECT_TRUE(bert_sizes.count(3600));  // MRPC
+  EXPECT_TRUE(bert_sizes.count(5000));  // CoLA min
+  EXPECT_TRUE(bert_sizes.count(20000)); // SST-2 max
+}
+
+TEST(Table2, EveryVariantHasAKnownProfile) {
+  for (const auto& v : table2_variants()) {
+    EXPECT_NO_THROW(model::profile_by_name(v.model_name)) << v.model_name;
+    EXPECT_GT(v.dataset_size, 0) << v.dataset;
+    EXPECT_GT(v.num_classes, 1) << v.dataset;
+  }
+}
+
+TEST(Trace, DeterministicForSameSeed) {
+  TraceConfig c;
+  c.num_jobs = 30;
+  c.seed = 123;
+  const auto a = generate_trace(c);
+  const auto b = generate_trace(c);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].variant.model_name, b[i].variant.model_name);
+    EXPECT_DOUBLE_EQ(a[i].arrival_time_s, b[i].arrival_time_s);
+    EXPECT_EQ(a[i].requested_gpus, b[i].requested_gpus);
+    EXPECT_EQ(a[i].requested_batch, b[i].requested_batch);
+    EXPECT_EQ(a[i].dynamics_seed, b[i].dynamics_seed);
+  }
+}
+
+TEST(Trace, DifferentSeedsDiffer) {
+  TraceConfig c;
+  c.num_jobs = 30;
+  c.seed = 1;
+  const auto a = generate_trace(c);
+  c.seed = 2;
+  const auto b = generate_trace(c);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].variant.dataset != b[i].variant.dataset) ++differing;
+  }
+  EXPECT_GT(differing, 5);
+}
+
+TEST(Trace, ArrivalsAreSortedAndStartAtZero) {
+  TraceConfig c;
+  c.num_jobs = 50;
+  const auto trace = generate_trace(c);
+  EXPECT_DOUBLE_EQ(trace.front().arrival_time_s, 0.0);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival_time_s, trace[i - 1].arrival_time_s);
+  }
+}
+
+TEST(Trace, PoissonMeanInterarrivalApproximatesConfig) {
+  TraceConfig c;
+  c.num_jobs = 4000;
+  c.mean_interarrival_s = 30.0;
+  c.seed = 9;
+  const auto trace = generate_trace(c);
+  const double span = trace.back().arrival_time_s;
+  EXPECT_NEAR(span / (c.num_jobs - 1), 30.0, 2.0);
+}
+
+TEST(Trace, UniformArrivalsWhenPoissonDisabled) {
+  TraceConfig c;
+  c.num_jobs = 5;
+  c.mean_interarrival_s = 10.0;
+  c.poisson_arrivals = false;
+  const auto trace = generate_trace(c);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(trace[i].arrival_time_s, 10.0 * static_cast<double>(i));
+  }
+}
+
+TEST(Trace, IdsAreSequential) {
+  TraceConfig c;
+  c.num_jobs = 10;
+  const auto trace = generate_trace(c);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, static_cast<JobId>(i));
+  }
+}
+
+TEST(Trace, RequestedConfigurationsAreFeasible) {
+  TraceConfig c;
+  c.num_jobs = 200;
+  const auto trace = generate_trace(c);
+  for (const auto& spec : trace) {
+    const auto& p = model::profile_by_name(spec.variant.model_name);
+    EXPECT_TRUE(spec.requested_gpus == 1 || spec.requested_gpus == 2 ||
+                spec.requested_gpus == 4);
+    // The requested local batch must fit GPU memory.
+    EXPECT_LE(ceil_div(spec.requested_batch, spec.requested_gpus), p.max_local_batch);
+    EXPECT_GE(spec.requested_batch, spec.requested_gpus);
+  }
+}
+
+TEST(Trace, DrawsFromManyVariants) {
+  TraceConfig c;
+  c.num_jobs = 300;
+  const auto trace = generate_trace(c);
+  std::set<std::string> variants;
+  for (const auto& spec : trace) {
+    variants.insert(spec.variant.model_name + "/" + spec.variant.dataset);
+  }
+  EXPECT_GT(variants.size(), 40u);  // most of the 50 variants appear
+}
+
+TEST(Trace, FormatTable2MentionsEveryModel) {
+  const auto s = format_table2();
+  for (const char* name : {"AlexNet", "ResNet50", "VGG16", "InceptionV3", "ResNet18",
+                           "GoogleNet", "BERT"}) {
+    EXPECT_NE(s.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(s.find("50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ones::workload
