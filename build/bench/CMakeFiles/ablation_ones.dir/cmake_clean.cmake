@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ones.dir/ablation_ones.cpp.o"
+  "CMakeFiles/ablation_ones.dir/ablation_ones.cpp.o.d"
+  "ablation_ones"
+  "ablation_ones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

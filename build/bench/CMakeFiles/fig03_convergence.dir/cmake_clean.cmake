@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_convergence.dir/fig03_convergence.cpp.o"
+  "CMakeFiles/fig03_convergence.dir/fig03_convergence.cpp.o.d"
+  "fig03_convergence"
+  "fig03_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

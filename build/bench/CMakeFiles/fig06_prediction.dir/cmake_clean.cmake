@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_prediction.dir/fig06_prediction.cpp.o"
+  "CMakeFiles/fig06_prediction.dir/fig06_prediction.cpp.o.d"
+  "fig06_prediction"
+  "fig06_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_gradual_scaling.dir/fig14_gradual_scaling.cpp.o"
+  "CMakeFiles/fig14_gradual_scaling.dir/fig14_gradual_scaling.cpp.o.d"
+  "fig14_gradual_scaling"
+  "fig14_gradual_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_gradual_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

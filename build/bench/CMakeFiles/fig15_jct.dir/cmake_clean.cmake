@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_jct.dir/fig15_jct.cpp.o"
+  "CMakeFiles/fig15_jct.dir/fig15_jct.cpp.o.d"
+  "fig15_jct"
+  "fig15_jct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_jct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_evolution.dir/micro_evolution.cpp.o"
+  "CMakeFiles/micro_evolution.dir/micro_evolution.cpp.o.d"
+  "micro_evolution"
+  "micro_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

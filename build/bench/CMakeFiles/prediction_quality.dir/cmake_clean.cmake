@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_quality.dir/prediction_quality.cpp.o"
+  "CMakeFiles/prediction_quality.dir/prediction_quality.cpp.o.d"
+  "prediction_quality"
+  "prediction_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

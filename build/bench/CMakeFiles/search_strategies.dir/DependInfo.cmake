@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/search_strategies.cpp" "bench/CMakeFiles/search_strategies.dir/search_strategies.cpp.o" "gcc" "bench/CMakeFiles/search_strategies.dir/search_strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ones_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/drl/CMakeFiles/ones_drl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ones_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/ones_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/elastic/CMakeFiles/ones_elastic.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ones_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ones_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ones_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ones_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ones_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ones_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ones_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

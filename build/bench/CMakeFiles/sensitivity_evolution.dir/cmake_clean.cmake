@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_evolution.dir/sensitivity_evolution.cpp.o"
+  "CMakeFiles/sensitivity_evolution.dir/sensitivity_evolution.cpp.o.d"
+  "sensitivity_evolution"
+  "sensitivity_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_schedulers.dir/table3_schedulers.cpp.o"
+  "CMakeFiles/table3_schedulers.dir/table3_schedulers.cpp.o.d"
+  "table3_schedulers"
+  "table3_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

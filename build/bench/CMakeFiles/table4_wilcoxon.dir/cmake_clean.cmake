@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_wilcoxon.dir/table4_wilcoxon.cpp.o"
+  "CMakeFiles/table4_wilcoxon.dir/table4_wilcoxon.cpp.o.d"
+  "table4_wilcoxon"
+  "table4_wilcoxon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_wilcoxon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragmentation_monitor.dir/fragmentation_monitor.cpp.o"
+  "CMakeFiles/fragmentation_monitor.dir/fragmentation_monitor.cpp.o.d"
+  "fragmentation_monitor"
+  "fragmentation_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragmentation_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_demo.dir/predictor_demo.cpp.o"
+  "CMakeFiles/predictor_demo.dir/predictor_demo.cpp.o.d"
+  "predictor_demo"
+  "predictor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_cluster.dir/assignment.cpp.o"
+  "CMakeFiles/ones_cluster.dir/assignment.cpp.o.d"
+  "CMakeFiles/ones_cluster.dir/fragmentation.cpp.o"
+  "CMakeFiles/ones_cluster.dir/fragmentation.cpp.o.d"
+  "CMakeFiles/ones_cluster.dir/topology.cpp.o"
+  "CMakeFiles/ones_cluster.dir/topology.cpp.o.d"
+  "libones_cluster.a"
+  "libones_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

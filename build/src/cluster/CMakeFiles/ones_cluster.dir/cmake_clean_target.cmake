@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libones_cluster.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_common.dir/log.cpp.o"
+  "CMakeFiles/ones_common.dir/log.cpp.o.d"
+  "CMakeFiles/ones_common.dir/rng.cpp.o"
+  "CMakeFiles/ones_common.dir/rng.cpp.o.d"
+  "libones_common.a"
+  "libones_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

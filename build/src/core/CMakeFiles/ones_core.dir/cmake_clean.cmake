@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_core.dir/annealing.cpp.o"
+  "CMakeFiles/ones_core.dir/annealing.cpp.o.d"
+  "CMakeFiles/ones_core.dir/batch_policy.cpp.o"
+  "CMakeFiles/ones_core.dir/batch_policy.cpp.o.d"
+  "CMakeFiles/ones_core.dir/evolution.cpp.o"
+  "CMakeFiles/ones_core.dir/evolution.cpp.o.d"
+  "CMakeFiles/ones_core.dir/ones_scheduler.cpp.o"
+  "CMakeFiles/ones_core.dir/ones_scheduler.cpp.o.d"
+  "libones_core.a"
+  "libones_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_drl.dir/drl_scheduler.cpp.o"
+  "CMakeFiles/ones_drl.dir/drl_scheduler.cpp.o.d"
+  "CMakeFiles/ones_drl.dir/mlp.cpp.o"
+  "CMakeFiles/ones_drl.dir/mlp.cpp.o.d"
+  "libones_drl.a"
+  "libones_drl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_drl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

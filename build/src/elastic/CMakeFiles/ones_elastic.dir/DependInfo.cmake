@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elastic/cost_model.cpp" "src/elastic/CMakeFiles/ones_elastic.dir/cost_model.cpp.o" "gcc" "src/elastic/CMakeFiles/ones_elastic.dir/cost_model.cpp.o.d"
+  "/root/repo/src/elastic/protocol.cpp" "src/elastic/CMakeFiles/ones_elastic.dir/protocol.cpp.o" "gcc" "src/elastic/CMakeFiles/ones_elastic.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ones_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ones_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ones_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ones_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_elastic.dir/cost_model.cpp.o"
+  "CMakeFiles/ones_elastic.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ones_elastic.dir/protocol.cpp.o"
+  "CMakeFiles/ones_elastic.dir/protocol.cpp.o.d"
+  "libones_elastic.a"
+  "libones_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

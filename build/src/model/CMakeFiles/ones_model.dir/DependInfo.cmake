@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/convergence.cpp" "src/model/CMakeFiles/ones_model.dir/convergence.cpp.o" "gcc" "src/model/CMakeFiles/ones_model.dir/convergence.cpp.o.d"
+  "/root/repo/src/model/task.cpp" "src/model/CMakeFiles/ones_model.dir/task.cpp.o" "gcc" "src/model/CMakeFiles/ones_model.dir/task.cpp.o.d"
+  "/root/repo/src/model/throughput.cpp" "src/model/CMakeFiles/ones_model.dir/throughput.cpp.o" "gcc" "src/model/CMakeFiles/ones_model.dir/throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ones_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ones_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_model.dir/convergence.cpp.o"
+  "CMakeFiles/ones_model.dir/convergence.cpp.o.d"
+  "CMakeFiles/ones_model.dir/task.cpp.o"
+  "CMakeFiles/ones_model.dir/task.cpp.o.d"
+  "CMakeFiles/ones_model.dir/throughput.cpp.o"
+  "CMakeFiles/ones_model.dir/throughput.cpp.o.d"
+  "libones_model.a"
+  "libones_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

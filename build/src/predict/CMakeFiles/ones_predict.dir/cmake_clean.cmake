@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_predict.dir/progress_predictor.cpp.o"
+  "CMakeFiles/ones_predict.dir/progress_predictor.cpp.o.d"
+  "libones_predict.a"
+  "libones_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libones_predict.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/fifo.cpp" "src/sched/CMakeFiles/ones_sched.dir/fifo.cpp.o" "gcc" "src/sched/CMakeFiles/ones_sched.dir/fifo.cpp.o.d"
+  "/root/repo/src/sched/gandiva.cpp" "src/sched/CMakeFiles/ones_sched.dir/gandiva.cpp.o" "gcc" "src/sched/CMakeFiles/ones_sched.dir/gandiva.cpp.o.d"
+  "/root/repo/src/sched/optimus.cpp" "src/sched/CMakeFiles/ones_sched.dir/optimus.cpp.o" "gcc" "src/sched/CMakeFiles/ones_sched.dir/optimus.cpp.o.d"
+  "/root/repo/src/sched/oracle.cpp" "src/sched/CMakeFiles/ones_sched.dir/oracle.cpp.o" "gcc" "src/sched/CMakeFiles/ones_sched.dir/oracle.cpp.o.d"
+  "/root/repo/src/sched/placement.cpp" "src/sched/CMakeFiles/ones_sched.dir/placement.cpp.o" "gcc" "src/sched/CMakeFiles/ones_sched.dir/placement.cpp.o.d"
+  "/root/repo/src/sched/simulation.cpp" "src/sched/CMakeFiles/ones_sched.dir/simulation.cpp.o" "gcc" "src/sched/CMakeFiles/ones_sched.dir/simulation.cpp.o.d"
+  "/root/repo/src/sched/srtf.cpp" "src/sched/CMakeFiles/ones_sched.dir/srtf.cpp.o" "gcc" "src/sched/CMakeFiles/ones_sched.dir/srtf.cpp.o.d"
+  "/root/repo/src/sched/tiresias.cpp" "src/sched/CMakeFiles/ones_sched.dir/tiresias.cpp.o" "gcc" "src/sched/CMakeFiles/ones_sched.dir/tiresias.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ones_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ones_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ones_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ones_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ones_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/elastic/CMakeFiles/ones_elastic.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ones_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ones_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

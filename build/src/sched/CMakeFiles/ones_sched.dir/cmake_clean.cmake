@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_sched.dir/fifo.cpp.o"
+  "CMakeFiles/ones_sched.dir/fifo.cpp.o.d"
+  "CMakeFiles/ones_sched.dir/gandiva.cpp.o"
+  "CMakeFiles/ones_sched.dir/gandiva.cpp.o.d"
+  "CMakeFiles/ones_sched.dir/optimus.cpp.o"
+  "CMakeFiles/ones_sched.dir/optimus.cpp.o.d"
+  "CMakeFiles/ones_sched.dir/oracle.cpp.o"
+  "CMakeFiles/ones_sched.dir/oracle.cpp.o.d"
+  "CMakeFiles/ones_sched.dir/placement.cpp.o"
+  "CMakeFiles/ones_sched.dir/placement.cpp.o.d"
+  "CMakeFiles/ones_sched.dir/simulation.cpp.o"
+  "CMakeFiles/ones_sched.dir/simulation.cpp.o.d"
+  "CMakeFiles/ones_sched.dir/srtf.cpp.o"
+  "CMakeFiles/ones_sched.dir/srtf.cpp.o.d"
+  "CMakeFiles/ones_sched.dir/tiresias.cpp.o"
+  "CMakeFiles/ones_sched.dir/tiresias.cpp.o.d"
+  "libones_sched.a"
+  "libones_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_sim.dir/engine.cpp.o"
+  "CMakeFiles/ones_sim.dir/engine.cpp.o.d"
+  "libones_sim.a"
+  "libones_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

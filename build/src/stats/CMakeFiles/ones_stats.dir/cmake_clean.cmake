@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_stats.dir/beta.cpp.o"
+  "CMakeFiles/ones_stats.dir/beta.cpp.o.d"
+  "CMakeFiles/ones_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/ones_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/ones_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/ones_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/ones_stats.dir/solve.cpp.o"
+  "CMakeFiles/ones_stats.dir/solve.cpp.o.d"
+  "CMakeFiles/ones_stats.dir/wilcoxon.cpp.o"
+  "CMakeFiles/ones_stats.dir/wilcoxon.cpp.o.d"
+  "libones_stats.a"
+  "libones_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/ones_telemetry.dir/metrics.cpp.o.d"
+  "CMakeFiles/ones_telemetry.dir/report.cpp.o"
+  "CMakeFiles/ones_telemetry.dir/report.cpp.o.d"
+  "libones_telemetry.a"
+  "libones_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ones_telemetry.
+# This may be replaced when dependencies are built.

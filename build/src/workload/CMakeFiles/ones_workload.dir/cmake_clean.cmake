@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_workload.dir/trace.cpp.o"
+  "CMakeFiles/ones_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/ones_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/ones_workload.dir/trace_io.cpp.o.d"
+  "libones_workload.a"
+  "libones_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drl_test.dir/drl_test.cpp.o"
+  "CMakeFiles/drl_test.dir/drl_test.cpp.o.d"
+  "drl_test"
+  "drl_test.pdb"
+  "drl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gandiva_test.dir/gandiva_test.cpp.o"
+  "CMakeFiles/gandiva_test.dir/gandiva_test.cpp.o.d"
+  "gandiva_test"
+  "gandiva_test.pdb"
+  "gandiva_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gandiva_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

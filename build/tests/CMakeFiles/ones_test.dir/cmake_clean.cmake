@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_test.dir/ones_test.cpp.o"
+  "CMakeFiles/ones_test.dir/ones_test.cpp.o.d"
+  "ones_test"
+  "ones_test.pdb"
+  "ones_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_edge_test.dir/simulation_edge_test.cpp.o"
+  "CMakeFiles/simulation_edge_test.dir/simulation_edge_test.cpp.o.d"
+  "simulation_edge_test"
+  "simulation_edge_test.pdb"
+  "simulation_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
