@@ -7,9 +7,13 @@
 //   * LR linear scaling off in the substrate (the §3.3.2 motivation).
 //
 // Run on a 32-GPU cluster with a contended trace (smaller than Fig 15 to
-// keep the 7-variant sweep quick).
+// keep the 7-variant sweep quick), through the src/exp orchestrator
+// (--threads / --seeds / --no-cache). Each variant's OnesConfig tweak is
+// not part of the serialized spec, so its label doubles as the RunSpec
+// `variant` cache-key tag.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "harness.hpp"
 
@@ -29,10 +33,12 @@ class CheckpointOnes : public core::OnesScheduler {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTimer timer("ablation_ones");
+  const auto opt = exp::parse_bench_cli(argc, argv);
   const auto config = bench::paper_sim_config(8);  // 32 GPUs
-  const auto trace = workload::generate_trace(bench::paper_trace_config(160, 9.0));
-  std::printf("ONES ablations: %zu jobs on 32 GPUs\n\n", trace.size());
+  const auto trace_config = bench::paper_trace_config(160, 9.0);
+  std::printf("ONES ablations: %d jobs on 32 GPUs\n\n", trace_config.num_jobs);
   std::printf("%-16s %s\n", "variant", telemetry::format_summary_header().c_str());
 
   struct Variant {
@@ -64,32 +70,63 @@ int main() {
   }
   variants.push_back({"ckpt-mechanism", {}, true});
 
-  double full_jct = 0.0;
-  std::vector<std::pair<std::string, double>> rows;
+  // One grid row per (variant, seed); the substrate-side no-lr-scaling
+  // ablation rides along as an extra row with a modified sim config.
+  std::vector<bench::NamedFactory> factories;
+  std::vector<exp::RunSpec> specs;
   for (const auto& variant : variants) {
-    std::unique_ptr<core::OnesScheduler> s;
+    const auto cfg = variant.cfg;
+    exp::SchedulerFactory make;
     if (variant.checkpoint) {
-      s = std::make_unique<CheckpointOnes>(variant.cfg);
+      make = [cfg]() -> std::unique_ptr<sched::Scheduler> {
+        return std::make_unique<CheckpointOnes>(cfg);
+      };
     } else {
-      s = std::make_unique<core::OnesScheduler>(variant.cfg);
+      make = [cfg]() -> std::unique_ptr<sched::Scheduler> {
+        return std::make_unique<core::OnesScheduler>(cfg);
+      };
     }
-    const auto r = bench::run_one(config, trace, *s);
-    std::printf("%-16s %s\n", variant.label,
-                telemetry::format_summary_row(r.summary).c_str());
-    std::fflush(stdout);
-    if (std::string(variant.label) == "full") full_jct = r.summary.avg_jct;
-    rows.emplace_back(variant.label, r.summary.avg_jct);
+    for (int k = 0; k < opt.seeds; ++k) {
+      exp::RunSpec spec;
+      spec.scheduler = variant.checkpoint ? "ONES-ckpt" : "ONES";
+      spec.variant = variant.label;
+      spec.sim = config;
+      spec.trace = trace_config;
+      spec.trace.seed = trace_config.seed + static_cast<std::uint64_t>(k);
+      spec.factory = make;
+      specs.push_back(std::move(spec));
+    }
   }
-
-  // Substrate-side ablation: LR linear scaling off — large batches stop
-  // paying off, so the full ONES should degrade noticeably.
   {
     auto no_lr_config = config;
     no_lr_config.convergence.lr_linear_scaling = false;
-    core::OnesScheduler s;
-    const auto r = bench::run_one(no_lr_config, trace, s);
-    std::printf("%-16s %s\n", "no-lr-scaling", telemetry::format_summary_row(r.summary).c_str());
-    rows.emplace_back("no-lr-scaling", r.summary.avg_jct);
+    for (int k = 0; k < opt.seeds; ++k) {
+      exp::RunSpec spec;
+      spec.scheduler = "ONES";
+      spec.variant = "no-lr-scaling";
+      spec.sim = no_lr_config;
+      spec.trace = trace_config;
+      spec.trace.seed = trace_config.seed + static_cast<std::uint64_t>(k);
+      spec.factory = [] { return std::make_unique<core::OnesScheduler>(); };
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const auto runs = exp::run_grid(specs, opt.grid);
+  const std::size_t n_rows = variants.size() + 1;
+  const auto pooled = bench::pool_by_factory(runs, n_rows, opt.seeds);
+
+  std::vector<const char*> labels;
+  for (const auto& variant : variants) labels.push_back(variant.label);
+  labels.push_back("no-lr-scaling");
+
+  double full_jct = 0.0;
+  std::vector<std::pair<std::string, double>> rows;
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    std::printf("%-16s %s\n", labels[i],
+                telemetry::format_summary_row(pooled[i].summary).c_str());
+    if (std::string(labels[i]) == "full") full_jct = pooled[i].summary.avg_jct;
+    rows.emplace_back(labels[i], pooled[i].summary.avg_jct);
   }
 
   std::printf("\nAverage-JCT change vs the full configuration:\n");

@@ -8,10 +8,12 @@
 #include <cstdio>
 
 #include "cluster/topology.hpp"
+#include "harness.hpp"
 #include "model/task.hpp"
 #include "model/throughput.hpp"
 
 int main() {
+  ::ones::bench::ScopedTimer bench_timer("fig02_throughput");
   using namespace ones;
   const auto& profile = model::profile_by_name("ResNet50-CIFAR");
   const cluster::Topology topo(cluster::TopologyConfig{});

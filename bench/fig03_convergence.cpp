@@ -6,10 +6,12 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness.hpp"
 #include "model/convergence.hpp"
 #include "model/task.hpp"
 
 int main() {
+  ::ones::bench::ScopedTimer bench_timer("fig03_convergence");
   using namespace ones;
   const auto& profile = model::profile_by_name("ResNet50-CIFAR");
   const std::int64_t dataset = 20000;

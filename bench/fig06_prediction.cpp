@@ -7,12 +7,14 @@
 #include <cstdio>
 
 #include "core/ones_scheduler.hpp"
+#include "harness.hpp"
 #include "sched/simulation.hpp"
 #include "workload/trace.hpp"
 
 using namespace ones;
 
 int main() {
+  ::ones::bench::ScopedTimer bench_timer("fig06_prediction");
   // Warm-up run: the predictor learns from completed jobs.
   workload::TraceConfig tc;
   tc.num_jobs = 48;

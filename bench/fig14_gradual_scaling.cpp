@@ -5,10 +5,12 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness.hpp"
 #include "model/convergence.hpp"
 #include "model/task.hpp"
 
 int main() {
+  ::ones::bench::ScopedTimer bench_timer("fig14_gradual_scaling");
   using namespace ones;
   const auto& profile = model::profile_by_name("ResNet50-CIFAR");
   const std::int64_t dataset = 20000;

@@ -7,6 +7,11 @@
 //
 // FIFO and the SRTF oracle are included as extra reference points (they are
 // not in the paper's figure).
+//
+// Runs through the src/exp orchestrator: --threads=N fans the
+// (scheduler x seed) grid over N workers with byte-identical stdout,
+// --seeds=K pools K trace seeds per scheduler, and a warm .ones-cache/
+// makes re-runs near-instant (--no-cache bypasses it).
 #include <cstdio>
 #include <vector>
 
@@ -46,19 +51,19 @@ void print_panel(const char* title, const std::vector<bench::RunResult>& results
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTimer timer("fig15_jct");
+  const auto opt = exp::parse_bench_cli(argc, argv);
   const auto config = bench::paper_sim_config();
-  const auto trace = workload::generate_trace(bench::paper_trace_config());
-  std::printf("Figure 15: scheduling performance, %zu jobs on %d GPUs\n", trace.size(),
+  const auto trace_config = bench::paper_trace_config();
+  std::printf("Figure 15: scheduling performance, %d jobs on %d GPUs\n",
+              trace_config.num_jobs,
               config.topology.num_nodes * config.topology.gpus_per_node);
 
-  auto schedulers = bench::make_schedulers();
-  std::vector<bench::RunResult> results;
-  for (sched::Scheduler* s : schedulers.all()) {
-    std::printf("[run] %s...\n", s->name().c_str());
-    std::fflush(stdout);
-    results.push_back(bench::run_one(config, trace, *s));
-  }
+  const auto factories = bench::all_factories();
+  const auto specs = bench::seed_grid(factories, config, trace_config, opt.seeds);
+  const auto runs = exp::run_grid(specs, opt.grid);
+  const auto results = bench::pool_by_factory(runs, factories.size(), opt.seeds);
 
   std::printf("\nPanel (a/b/c): averages\n");
   bench::print_rule();
@@ -71,15 +76,9 @@ int main() {
   std::printf("\nONES average-JCT reduction vs each baseline, with 95%% bootstrap CIs\n"
               "(paper: DRL 26.9%%, Tiresias 45.6%%, Optimus 41.7%%):\n");
   for (std::size_t i = 1; i < 4; ++i) {
-    // Pair per-job JCTs by job id for the bootstrap.
+    // Pair per-job JCTs by job id, per seed, for the bootstrap.
     std::vector<double> ones_paired, base_paired;
-    for (const auto& [id, jct] : results[0].jct_by_job) {
-      auto it = results[i].jct_by_job.find(id);
-      if (it != results[i].jct_by_job.end()) {
-        ones_paired.push_back(jct);
-        base_paired.push_back(it->second);
-      }
-    }
+    bench::paired_jcts(runs, 0, i, opt.seeds, ones_paired, base_paired);
     const auto ci = stats::bootstrap_relative_reduction_ci(ones_paired, base_paired);
     const double base = results[i].summary.avg_jct;
     std::printf("  vs %-9s %6.1f%%   [%.1f%%, %.1f%%]\n",

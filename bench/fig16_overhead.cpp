@@ -13,12 +13,14 @@
 #include "cluster/topology.hpp"
 #include "elastic/cost_model.hpp"
 #include "elastic/protocol.hpp"
+#include "harness.hpp"
 #include "model/task.hpp"
 #include "sim/engine.hpp"
 
 using namespace ones;
 
 int main() {
+  ::ones::bench::ScopedTimer bench_timer("fig16_overhead");
   const cluster::Topology topo(cluster::TopologyConfig{});
   const elastic::CostConfig costs;
   const elastic::ScalingCostModel cost_model(costs);

@@ -5,6 +5,11 @@
 //           cluster size — all fall as capacity grows, queuing near-linearly.
 //   Fig 18: ONES's average-JCT improvement over each baseline — which grows
 //           with the cluster size (ONES exploits free GPUs best).
+//
+// Runs through the src/exp orchestrator (--threads / --seeds / --no-cache).
+// Every (scheduler, capacity, seed) cell is an independent simulation with a
+// fresh scheduler instance — the pre-orchestrator version reused one
+// scheduler object across capacities, leaking predictor state between runs.
 #include <cstdio>
 #include <map>
 #include <vector>
@@ -13,25 +18,39 @@
 
 using namespace ones;
 
-int main() {
-  const auto trace = workload::generate_trace(bench::paper_trace_config(240, 4.5));
+int main(int argc, char** argv) {
+  bench::ScopedTimer timer("fig17_scalability");
+  const auto opt = exp::parse_bench_cli(argc, argv);
+  const auto trace_config = bench::paper_trace_config(240, 4.5);
   const std::vector<int> node_counts = {4, 8, 12, 16};  // 16..64 GPUs
 
-  std::printf("Figures 17/18: scalability, %zu jobs, cluster capacity 16..64 GPUs\n",
-              trace.size());
+  std::printf("Figures 17/18: scalability, %d jobs, cluster capacity 16..64 GPUs\n",
+              trace_config.num_jobs);
 
-  auto schedulers = bench::make_schedulers();
-  // scheduler -> per-capacity summaries
-  std::map<std::string, std::vector<telemetry::Summary>> table;
+  const auto factories = bench::paper_factories();
   std::vector<std::string> order;
-  for (sched::Scheduler* s : schedulers.paper_four()) order.push_back(s->name());
+  for (const auto& f : factories) order.push_back(f.name);
 
+  // Grid layout: capacity-major, then (factory-major, seed-minor) per
+  // capacity — the seed_grid slices concatenate in node_counts order.
+  std::vector<exp::RunSpec> specs;
   for (int nodes : node_counts) {
-    const auto config = bench::paper_sim_config(nodes);
-    for (sched::Scheduler* s : schedulers.paper_four()) {
-      std::printf("[run] %s @ %d GPUs...\n", s->name().c_str(), nodes * 4);
-      std::fflush(stdout);
-      table[s->name()].push_back(bench::run_one(config, trace, *s).summary);
+    const auto capacity_specs = bench::seed_grid(factories, bench::paper_sim_config(nodes),
+                                                 trace_config, opt.seeds);
+    specs.insert(specs.end(), capacity_specs.begin(), capacity_specs.end());
+  }
+  const auto runs = exp::run_grid(specs, opt.grid);
+
+  // scheduler -> per-capacity summaries, pooled over seeds
+  std::map<std::string, std::vector<telemetry::Summary>> table;
+  const std::size_t per_capacity = factories.size() * static_cast<std::size_t>(opt.seeds);
+  for (std::size_t c = 0; c < node_counts.size(); ++c) {
+    const auto first = runs.begin() + static_cast<std::ptrdiff_t>(c * per_capacity);
+    const auto pooled = bench::pool_by_factory(
+        std::vector<bench::RunResult>(first, first + static_cast<std::ptrdiff_t>(per_capacity)),
+        factories.size(), opt.seeds);
+    for (std::size_t f = 0; f < factories.size(); ++f) {
+      table[order[f]].push_back(pooled[f].summary);
     }
   }
 

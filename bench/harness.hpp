@@ -1,16 +1,22 @@
 // Shared helpers for the reproduction benches: the paper's evaluation
-// configuration (64-GPU Longhorn-like cluster, Table 2 trace) and a runner
-// that executes one scheduler over a trace and collects its metrics.
+// configuration (64-GPU Longhorn-like cluster, Table 2 trace), scheduler
+// factories for the orchestrated grid runner (src/exp), and a wall-clock
+// timer every bench prints on exit.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ones_scheduler.hpp"
 #include "drl/drl_scheduler.hpp"
+#include "exp/cli.hpp"
+#include "exp/orchestrator.hpp"
 #include "sched/fifo.hpp"
 #include "sched/optimus.hpp"
 #include "sched/simulation.hpp"
@@ -42,33 +48,142 @@ inline workload::TraceConfig paper_trace_config(int jobs = 240,
   return t;
 }
 
-struct RunResult {
-  telemetry::Summary summary;
-  std::vector<double> jcts;
-  std::vector<double> exec_times;
-  std::vector<double> queue_times;
-  std::map<JobId, double> jct_by_job;  ///< ordered, for paired tests
-  std::size_t completed = 0;
+/// Prints the bench's wall-clock duration when it goes out of scope, so the
+/// BENCH_*.json trajectories can track runner speedups. Written to stderr:
+/// stdout carries metric output that must stay byte-identical across runs.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* label = "bench")
+      : label_(label), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    std::fprintf(stderr, "[%s] wall-clock: %.1f s\n", label_, s);
+    std::fflush(stderr);
+  }
+
+ private:
+  const char* label_;
+  std::chrono::steady_clock::time_point start_;
 };
+
+using RunResult = exp::RunResult;
 
 inline RunResult run_one(const sched::SimulationConfig& config,
                          const std::vector<workload::JobSpec>& trace,
                          sched::Scheduler& scheduler) {
-  sched::ClusterSimulation sim(config, trace, scheduler);
-  sim.run();
-  RunResult r;
-  r.summary = telemetry::summarize(scheduler.name(), sim.metrics(),
-                                   sim.topology().total_gpus());
-  r.jcts = sim.metrics().jcts();
-  r.exec_times = sim.metrics().exec_times();
-  r.queue_times = sim.metrics().queue_times();
-  for (const auto& [id, jct] : sim.metrics().jct_by_job()) r.jct_by_job[id] = jct;
-  r.completed = sim.completed_jobs();
-  return r;
+  return exp::run_simulation(config, trace, scheduler);
 }
 
-/// The four schedulers of the paper's evaluation (Table 3), plus optionally
-/// the FIFO / SRTF* references. The DRL baseline is trained offline first.
+/// A named scheduler factory for grid specs. Every run gets a FRESH
+/// scheduler instance (parallel runs must not share mutable policy state).
+struct NamedFactory {
+  std::string name;
+  exp::SchedulerFactory make;
+};
+
+/// The DRL baseline trains lazily on first instantiation (thread-safe), so a
+/// fully-cached grid never pays the offline training phase. Evaluation runs
+/// copy the trained prototype.
+inline exp::SchedulerFactory drl_factory() {
+  auto proto = std::make_shared<drl::DrlScheduler>();
+  auto once = std::make_shared<std::once_flag>();
+  return [proto, once]() -> std::unique_ptr<sched::Scheduler> {
+    std::call_once(*once, [&proto] {
+      std::fprintf(stderr, "[setup] training the DRL baseline policy offline...\n");
+      std::fflush(stderr);
+      proto->train();
+    });
+    return std::make_unique<drl::DrlScheduler>(*proto);
+  };
+}
+
+/// The four schedulers of the paper's evaluation (Table 3), in figure order.
+inline std::vector<NamedFactory> paper_factories() {
+  std::vector<NamedFactory> f;
+  f.push_back({core::OnesScheduler().name(),
+               [] { return std::make_unique<core::OnesScheduler>(); }});
+  f.push_back({drl::DrlScheduler().name(), drl_factory()});
+  f.push_back({sched::TiresiasScheduler().name(),
+               [] { return std::make_unique<sched::TiresiasScheduler>(); }});
+  f.push_back({sched::OptimusScheduler().name(),
+               [] { return std::make_unique<sched::OptimusScheduler>(); }});
+  return f;
+}
+
+/// Paper four plus the FIFO / SRTF-oracle reference points.
+inline std::vector<NamedFactory> all_factories() {
+  auto f = paper_factories();
+  f.push_back({sched::FifoScheduler().name(),
+               [] { return std::make_unique<sched::FifoScheduler>(); }});
+  f.push_back({sched::SrtfOracleScheduler().name(),
+               [] { return std::make_unique<sched::SrtfOracleScheduler>(); }});
+  return f;
+}
+
+/// Build the (factory-major, seed-minor) grid over seeds base..base+K-1 of
+/// `trace`: the canonical layout the heavy benches share. Run i*K+k holds
+/// factory i at seed k, so slices of K runs pool into one per-scheduler row.
+inline std::vector<exp::RunSpec> seed_grid(const std::vector<NamedFactory>& factories,
+                                           const sched::SimulationConfig& sim,
+                                           const workload::TraceConfig& trace,
+                                           int seeds) {
+  std::vector<exp::RunSpec> specs;
+  specs.reserve(factories.size() * static_cast<std::size_t>(seeds));
+  for (const auto& f : factories) {
+    for (int k = 0; k < seeds; ++k) {
+      exp::RunSpec spec;
+      spec.scheduler = f.name;
+      spec.sim = sim;
+      spec.trace = trace;
+      spec.trace.seed = trace.seed + static_cast<std::uint64_t>(k);
+      spec.factory = f.make;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+/// Pool each factory's seed-replicas out of a seed_grid result: returns one
+/// RunResult per factory, in factory order.
+inline std::vector<RunResult> pool_by_factory(const std::vector<RunResult>& runs,
+                                              std::size_t n_factories, int seeds) {
+  std::vector<RunResult> pooled;
+  pooled.reserve(n_factories);
+  for (std::size_t i = 0; i < n_factories; ++i) {
+    const auto first = runs.begin() + static_cast<std::ptrdiff_t>(i * seeds);
+    pooled.push_back(exp::pool_runs(std::vector<RunResult>(first, first + seeds)));
+  }
+  return pooled;
+}
+
+/// Concatenation over seeds of the per-seed (ONES, baseline) JCT pairs,
+/// matched by job id within each seed (ids restart per trace, so pairing
+/// must happen before pooling). `ones_runs` / `base_runs` are the K
+/// seed-replicas of the two schedulers in seed order.
+inline void paired_jcts(const std::vector<RunResult>& runs, std::size_t ones_index,
+                        std::size_t base_index, int seeds, std::vector<double>& x,
+                        std::vector<double>& y) {
+  x.clear();
+  y.clear();
+  for (int k = 0; k < seeds; ++k) {
+    const auto& ones_run = runs[ones_index * seeds + static_cast<std::size_t>(k)];
+    const auto& base_run = runs[base_index * seeds + static_cast<std::size_t>(k)];
+    for (const auto& [id, jct] : ones_run.jct_by_job) {
+      auto it = base_run.jct_by_job.find(id);
+      if (it != base_run.jct_by_job.end()) {
+        x.push_back(jct);
+        y.push_back(it->second);
+      }
+    }
+  }
+}
+
+/// The legacy serial scheduler set (light benches that probe scheduler
+/// internals or reuse instances deliberately). The DRL baseline is trained
+/// offline first.
 struct SchedulerSet {
   std::unique_ptr<core::OnesScheduler> ones;
   std::unique_ptr<drl::DrlScheduler> drl;

@@ -9,6 +9,7 @@
 
 #include "core/evolution.hpp"
 #include "core/ones_scheduler.hpp"
+#include "harness.hpp"
 #include "predict/progress_predictor.hpp"
 #include "sched/fifo.hpp"
 #include "sched/simulation.hpp"
@@ -194,4 +195,11 @@ BENCHMARK(BM_FullFifoSimulation)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ones::bench::ScopedTimer bench_timer("micro_evolution");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -44,6 +44,7 @@ struct ErrorStats {
 }  // namespace
 
 int main() {
+  ::ones::bench::ScopedTimer bench_timer("prediction_quality");
   const auto config = bench::paper_sim_config(8);  // 32 GPUs
   const auto trace = workload::generate_trace(bench::paper_trace_config(120, 9.0));
   std::printf("Prediction quality: remaining-workload estimates over %zu jobs\n\n",

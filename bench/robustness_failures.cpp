@@ -13,6 +13,7 @@
 using namespace ones;
 
 int main() {
+  ::ones::bench::ScopedTimer bench_timer("robustness_failures");
   const auto config = bench::paper_sim_config(8);  // 32 GPUs
 
   std::printf("Failure injection: 160 jobs on 32 GPUs, sweeping the abnormal-job "

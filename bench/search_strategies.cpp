@@ -11,6 +11,7 @@
 using namespace ones;
 
 int main() {
+  ::ones::bench::ScopedTimer bench_timer("search_strategies");
   const auto config = bench::paper_sim_config(8);  // 32 GPUs
   const auto trace = workload::generate_trace(bench::paper_trace_config(160, 9.0));
   std::printf("Search strategies over the ONES genome space: %zu jobs on 32 GPUs\n\n",

@@ -23,6 +23,7 @@ double run_with(const core::OnesConfig& cfg, const sched::SimulationConfig& conf
 }  // namespace
 
 int main() {
+  ::ones::bench::ScopedTimer bench_timer("sensitivity_evolution");
   const auto config = bench::paper_sim_config(4);  // 16 GPUs
   const auto trace = workload::generate_trace(bench::paper_trace_config(120, 14.0));
   std::printf("Evolution hyper-parameter sensitivity: %zu jobs on 16 GPUs\n",

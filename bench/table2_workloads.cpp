@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <map>
 
+#include "harness.hpp"
 #include "workload/trace.hpp"
 
 int main() {
+  ::ones::bench::ScopedTimer bench_timer("table2_workloads");
   using namespace ones;
   std::printf("%s\n", workload::format_table2().c_str());
 

@@ -5,10 +5,12 @@
 
 #include "core/ones_scheduler.hpp"
 #include "drl/drl_scheduler.hpp"
+#include "harness.hpp"
 #include "sched/optimus.hpp"
 #include "sched/tiresias.hpp"
 
 int main() {
+  ::ones::bench::ScopedTimer bench_timer("table3_schedulers");
   using namespace ones;
   core::OnesScheduler ones_s;
   drl::DrlScheduler drl_s;

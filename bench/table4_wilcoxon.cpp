@@ -4,6 +4,11 @@
 // Following the paper: a two-sided test (H0: the two schedulers' JCTs are
 // equivalent — rejected when p << 0.05) and a one-sided "negative" test
 // reported such that a p value near 1 supports "ONES's JCTs are smaller".
+//
+// Runs through the src/exp orchestrator (--threads / --seeds / --no-cache);
+// with --seeds=K the (ONES, baseline) pairs are matched by job id within
+// each seed and pooled across seeds, which is the many-seed sweep a paired
+// significance test actually wants.
 #include <cstdio>
 #include <vector>
 
@@ -12,37 +17,26 @@
 
 using namespace ones;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTimer timer("table4_wilcoxon");
+  const auto opt = exp::parse_bench_cli(argc, argv);
   const auto config = bench::paper_sim_config();
-  const auto trace = workload::generate_trace(bench::paper_trace_config());
-  std::printf("Table 4: Wilcoxon significance tests on per-job JCT (%zu paired jobs)\n",
-              trace.size());
+  const auto trace_config = bench::paper_trace_config();
+  std::printf("Table 4: Wilcoxon significance tests on per-job JCT (%d paired jobs"
+              " x %d seed%s)\n",
+              trace_config.num_jobs, opt.seeds, opt.seeds == 1 ? "" : "s");
 
-  auto schedulers = bench::make_schedulers();
-  std::vector<bench::RunResult> results;
-  for (sched::Scheduler* s : schedulers.paper_four()) {
-    std::printf("[run] %s...\n", s->name().c_str());
-    std::fflush(stdout);
-    results.push_back(bench::run_one(config, trace, *s));
-  }
-
-  // Pair by job id (the same jobs under each scheduler).
-  auto paired = [&](const bench::RunResult& a, const bench::RunResult& b) {
-    std::vector<double> x, y;
-    for (const auto& [id, jct] : a.jct_by_job) {
-      auto it = b.jct_by_job.find(id);
-      if (it != b.jct_by_job.end()) {
-        x.push_back(jct);
-        y.push_back(it->second);
-      }
-    }
-    return stats::wilcoxon_signed_rank(x, y);
-  };
+  const auto factories = bench::paper_factories();
+  const auto specs = bench::seed_grid(factories, config, trace_config, opt.seeds);
+  const auto runs = exp::run_grid(specs, opt.grid);
+  const auto results = bench::pool_by_factory(runs, factories.size(), opt.seeds);
 
   std::printf("\n%-14s %24s %30s\n", "", "p value (two-sided)", "p value (one-sided negative)");
   bool all_significant = true;
   for (std::size_t i = 1; i < results.size(); ++i) {
-    const auto res = paired(results[0], results[i]);
+    std::vector<double> x, y;
+    bench::paired_jcts(runs, 0, i, opt.seeds, x, y);
+    const auto res = stats::wilcoxon_signed_rank(x, y);
     std::printf("vs. %-10s %24.3e %30.5f\n", results[i].summary.scheduler.c_str(),
                 res.p_two_sided, res.p_greater);
     if (res.p_two_sided >= 0.05 || res.p_greater <= 0.95) all_significant = false;

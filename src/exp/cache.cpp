@@ -1,0 +1,69 @@
+#include "exp/cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace ones::exp {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir, bool enabled)
+    : dir_(std::move(dir)), enabled_(enabled) {}
+
+std::string ResultCache::path_for(const RunSpec& spec) const {
+  return (fs::path(dir_) / (cache_key(spec) + ".json")).string();
+}
+
+std::optional<RunResult> ResultCache::load(const RunSpec& spec) const {
+  if (!enabled_) return std::nullopt;
+  std::ifstream in(path_for(spec), std::ios::binary);
+  if (!in) {
+    misses_.fetch_add(1);
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    RunResult r = result_from_json(buf.str());
+    r.from_cache = true;
+    hits_.fetch_add(1);
+    return r;
+  } catch (const std::runtime_error& e) {
+    ONES_LOG(Warn) << "discarding unreadable cache entry " << path_for(spec) << ": "
+                   << e.what();
+    misses_.fetch_add(1);
+    return std::nullopt;
+  }
+}
+
+void ResultCache::store(const RunSpec& spec, const RunResult& result) const {
+  if (!enabled_) return;
+  const std::string final_path = path_for(spec);
+  try {
+    fs::create_directories(dir_);
+    // Unique temp name per store (hash of key + a counter via the atomic) so
+    // concurrent stores never clobber each other's partial writes; rename is
+    // atomic within a filesystem, so readers only ever see complete files.
+    const std::string tmp_path =
+        final_path + ".tmp" + std::to_string(stores_.fetch_add(1)) + "." +
+        std::to_string(static_cast<unsigned long>(::getpid()));
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot open " + tmp_path);
+      out << result_to_json(result) << '\n';
+      if (!out) throw std::runtime_error("short write to " + tmp_path);
+    }
+    fs::rename(tmp_path, final_path);
+  } catch (const std::exception& e) {
+    ONES_LOG(Warn) << "failed to store cache entry " << final_path << ": " << e.what();
+  }
+}
+
+}  // namespace ones::exp

@@ -1,0 +1,72 @@
+#include "exp/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace ones::exp {
+
+namespace {
+
+void print_usage(std::FILE* out, const char* prog) {
+  std::fprintf(out,
+               "usage: %s [--threads=N] [--seeds=K] [--no-cache] [--cache-dir=PATH]\n"
+               "          [--no-progress] [--help]\n"
+               "  --threads=N     worker threads (default: hardware concurrency, %d)\n"
+               "  --seeds=K       trace seeds per configuration (default: 1)\n"
+               "  --no-cache      bypass the on-disk result cache\n"
+               "  --cache-dir=P   cache directory (default: .ones-cache)\n"
+               "  --no-progress   silence the stderr progress/ETA reporter\n",
+               prog, default_threads());
+}
+
+/// Parse the integer value of "--flag=V"; exits on malformed or < min.
+int parse_int_value(const char* arg, const char* value, int min, const char* prog) {
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (*value == '\0' || *end != '\0' || v < min) {
+    std::fprintf(stderr, "%s: bad value in '%s' (need an integer >= %d)\n", prog, arg,
+                 min);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+BenchOptions parse_bench_cli(int argc, char** argv) {
+  BenchOptions opt;
+  opt.grid.threads = default_threads();
+  const char* prog = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage(stdout, prog);
+      std::exit(0);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      opt.grid.threads = parse_int_value(arg, arg + 10, 1, prog);
+    } else if (std::strncmp(arg, "--seeds=", 8) == 0) {
+      opt.seeds = parse_int_value(arg, arg + 8, 1, prog);
+    } else if (std::strcmp(arg, "--no-cache") == 0) {
+      opt.grid.use_cache = false;
+    } else if (std::strncmp(arg, "--cache-dir=", 12) == 0) {
+      opt.grid.cache_dir = arg + 12;
+    } else if (std::strcmp(arg, "--no-progress") == 0) {
+      opt.grid.progress = false;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", prog, arg);
+      print_usage(stderr, prog);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+}  // namespace ones::exp

@@ -1,0 +1,29 @@
+// Shared command-line parsing for orchestrated benches:
+//   --threads=N     worker threads (default: hardware concurrency)
+//   --seeds=K       trace seeds per configuration (default: 1)
+//   --no-cache      bypass the on-disk result cache
+//   --cache-dir=P   cache directory (default: .ones-cache)
+//   --no-progress   silence the stderr progress reporter
+//   --help          print usage and exit
+//
+// Unknown flags print usage to stderr and exit(2) so a typo never silently
+// runs a 45-minute sweep with default settings.
+#pragma once
+
+#include "exp/orchestrator.hpp"
+
+namespace ones::exp {
+
+struct BenchOptions {
+  GridOptions grid;
+  /// Seeds swept per grid configuration: base_seed .. base_seed + seeds - 1.
+  int seeds = 1;
+};
+
+/// Number of worker threads to default to (hardware concurrency, >= 1).
+int default_threads();
+
+/// Parse bench flags; exits the process on --help (0) or bad usage (2).
+BenchOptions parse_bench_cli(int argc, char** argv);
+
+}  // namespace ones::exp

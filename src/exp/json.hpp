@@ -1,0 +1,41 @@
+// Minimal JSON reading/writing for the result cache.
+//
+// Hand-rolled on purpose: the repo takes no external dependencies, and the
+// cache only needs the subset of JSON that RunResult serialization emits
+// (objects, arrays, numbers, strings, booleans, null). Numbers are written
+// with %.17g so IEEE doubles round-trip exactly — a cached result must
+// reproduce the original run byte-for-byte once formatted.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ones::exp {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< insertion order
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Parse a complete JSON document; throws std::runtime_error on malformed
+/// input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+/// Exact round-trip rendering of a double (%.17g).
+std::string json_double(double v);
+
+/// Quote + escape a string for JSON output.
+std::string json_quote(const std::string& s);
+
+}  // namespace ones::exp

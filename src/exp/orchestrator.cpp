@@ -1,0 +1,158 @@
+#include "exp/orchestrator.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "exp/progress.hpp"
+#include "sched/simulation.hpp"
+#include "workload/trace.hpp"
+
+namespace ones::exp {
+
+namespace {
+
+std::string run_label(const RunSpec& spec) {
+  std::string label = spec.scheduler;
+  if (!spec.variant.empty()) label += "/" + spec.variant;
+  label += " seed=" + std::to_string(spec.trace.seed);
+  return label;
+}
+
+}  // namespace
+
+RunResult run_simulation(const sched::SimulationConfig& config,
+                         const std::vector<workload::JobSpec>& trace,
+                         sched::Scheduler& scheduler) {
+  sched::ClusterSimulation sim(config, trace, scheduler);
+  sim.run();
+  RunResult r;
+  r.summary = telemetry::summarize(scheduler.name(), sim.metrics(),
+                                   sim.topology().total_gpus());
+  r.jcts = sim.metrics().jcts();
+  r.exec_times = sim.metrics().exec_times();
+  r.queue_times = sim.metrics().queue_times();
+  for (const auto& [id, jct] : sim.metrics().jct_by_job()) r.jct_by_job[id] = jct;
+  r.completed = sim.completed_jobs();
+  return r;
+}
+
+RunResult execute_run(const RunSpec& spec) {
+  ONES_EXPECT_MSG(static_cast<bool>(spec.factory), "RunSpec has no scheduler factory");
+  const auto trace = workload::generate_trace(spec.trace);
+  const auto scheduler = spec.factory();
+  ONES_EXPECT_MSG(scheduler != nullptr, "scheduler factory returned null");
+  return run_simulation(spec.sim, trace, *scheduler);
+}
+
+std::vector<RunResult> run_grid(const std::vector<RunSpec>& specs,
+                                const GridOptions& options) {
+  ONES_EXPECT_MSG(!specs.empty(), "run_grid requires a non-empty grid");
+  ONES_EXPECT_MSG(options.threads >= 1, "run_grid requires threads >= 1");
+  for (const auto& spec : specs) {
+    ONES_EXPECT_MSG(static_cast<bool>(spec.factory),
+                    "every RunSpec needs a scheduler factory");
+    ONES_EXPECT_MSG(!spec.scheduler.empty(), "every RunSpec needs a scheduler name");
+  }
+
+  const ResultCache cache(options.cache_dir, options.use_cache);
+  ProgressReporter progress(specs.size(), options.progress);
+  std::vector<RunResult> results(specs.size());
+
+  // Resolve cache hits up front (cheap I/O, serial) and queue the misses.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (auto hit = cache.load(specs[i])) {
+      results[i] = std::move(*hit);
+      progress.on_cached(run_label(specs[i]));
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  if (!pending.empty()) {
+    // Work-stealing by atomic cursor: threads race only for WHICH pending
+    // spec to run next; each result lands in its spec-order slot, so the
+    // returned vector is independent of scheduling order.
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> abort{false};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    auto worker = [&]() {
+      while (!abort.load(std::memory_order_relaxed)) {
+        const std::size_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (slot >= pending.size()) return;
+        const std::size_t i = pending[slot];
+        try {
+          const auto t0 = std::chrono::steady_clock::now();
+          results[i] = execute_run(specs[i]);
+          const double wall_s =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count();
+          cache.store(specs[i], results[i]);
+          progress.on_done(run_label(specs[i]), wall_s);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+
+    const std::size_t n_workers =
+        std::min(static_cast<std::size_t>(options.threads), pending.size());
+    if (n_workers <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(n_workers);
+      for (std::size_t w = 0; w < n_workers; ++w) threads.emplace_back(worker);
+      for (auto& t : threads) t.join();
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  progress.finish(static_cast<std::size_t>(cache.hits()));
+  return results;
+}
+
+RunResult pool_runs(const std::vector<RunResult>& runs) {
+  ONES_EXPECT_MSG(!runs.empty(), "pool_runs requires at least one run");
+  if (runs.size() == 1) return runs.front();
+
+  RunResult pooled;
+  pooled.summary.scheduler = runs.front().summary.scheduler;
+  double makespan_sum = 0.0;
+  double util_sum = 0.0;
+  for (const auto& r : runs) {
+    pooled.jcts.insert(pooled.jcts.end(), r.jcts.begin(), r.jcts.end());
+    pooled.exec_times.insert(pooled.exec_times.end(), r.exec_times.begin(),
+                             r.exec_times.end());
+    pooled.queue_times.insert(pooled.queue_times.end(), r.queue_times.begin(),
+                              r.queue_times.end());
+    pooled.completed += r.completed;
+    makespan_sum += r.summary.makespan;
+    util_sum += r.summary.utilization;
+    pooled.from_cache = pooled.from_cache || r.from_cache;
+  }
+  pooled.summary.jobs = pooled.jcts.size();
+  if (!pooled.jcts.empty()) {
+    pooled.summary.avg_jct = mean_of(pooled.jcts);
+    pooled.summary.avg_exec = mean_of(pooled.exec_times);
+    pooled.summary.avg_queue = mean_of(pooled.queue_times);
+    pooled.summary.p50_jct = quantile(pooled.jcts, 0.5);
+    pooled.summary.p90_jct = quantile(pooled.jcts, 0.9);
+    pooled.summary.max_jct = quantile(pooled.jcts, 1.0);
+  }
+  pooled.summary.makespan = makespan_sum / static_cast<double>(runs.size());
+  pooled.summary.utilization = util_sum / static_cast<double>(runs.size());
+  return pooled;
+}
+
+}  // namespace ones::exp

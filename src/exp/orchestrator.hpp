@@ -1,0 +1,62 @@
+// Parallel experiment orchestration.
+//
+// `run_grid` fans a declarative grid of RunSpecs out over a pool of
+// std::thread workers and returns one RunResult per spec, IN SPEC ORDER.
+//
+// Determinism argument (see DESIGN.md §7): each run constructs a fresh
+// scheduler from its factory, generates its own trace from the spec's seed,
+// and owns its ClusterSimulation — all randomness flows from per-run
+// `ones::Rng` seeds, and the simulator has no mutable global state. Threads
+// only race for *which* run to execute next; results land in a pre-sized
+// vector slot indexed by spec position, so aggregation order — and therefore
+// every downstream number — is independent of the thread count and of
+// completion order. `run_grid(specs, threads=N)` is bit-identical to
+// `threads=1` for every N.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/cache.hpp"
+#include "exp/result.hpp"
+#include "exp/run_spec.hpp"
+
+namespace ones::exp {
+
+struct GridOptions {
+  /// Worker threads; must be >= 1. More threads than (uncached) specs is
+  /// fine — the extras exit immediately.
+  int threads = 1;
+  bool use_cache = true;
+  std::string cache_dir = ".ones-cache";
+  /// Progress / ETA lines on stderr.
+  bool progress = true;
+};
+
+/// Execute one simulation: build the scheduler from the spec's factory,
+/// generate the trace, run, and collect metrics. (Also the body of each
+/// orchestrator worker; exposed for benches that run a single config.)
+RunResult execute_run(const RunSpec& spec);
+
+/// Collect metrics from an already-constructed simulation setup (the legacy
+/// single-run path used by light benches and examples).
+RunResult run_simulation(const sched::SimulationConfig& config,
+                         const std::vector<workload::JobSpec>& trace,
+                         sched::Scheduler& scheduler);
+
+/// Fan the grid out over `options.threads` workers. Preconditions
+/// (ONES_EXPECT): non-empty grid, threads >= 1, every spec has a factory and
+/// a scheduler name. The first exception thrown by a worker aborts the
+/// remaining queue and is rethrown on the calling thread.
+std::vector<RunResult> run_grid(const std::vector<RunSpec>& specs,
+                                const GridOptions& options = {});
+
+/// Pool per-seed replicas of the same configuration into one RunResult:
+/// distribution vectors are concatenated (grid order preserved), averages
+/// and quantiles are recomputed over the pooled sample, and makespan /
+/// utilization are averaged across seeds. `jct_by_job` is only kept for a
+/// single run — job ids collide across seeds, so multi-seed paired tests
+/// must pair per seed before pooling. Requires non-empty input.
+RunResult pool_runs(const std::vector<RunResult>& runs);
+
+}  // namespace ones::exp

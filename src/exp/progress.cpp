@@ -1,0 +1,62 @@
+#include "exp/progress.hpp"
+
+#include <cstdio>
+
+namespace ones::exp {
+
+ProgressReporter::ProgressReporter(std::size_t total, bool enabled)
+    : total_(total), enabled_(enabled), start_(std::chrono::steady_clock::now()) {}
+
+void ProgressReporter::on_cached(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  report_locked(label, "cached", 0.0);
+}
+
+void ProgressReporter::on_done(const std::string& label, double wall_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  ++executed_;
+  exec_wall_s_ += wall_s;
+  report_locked(label, "done", wall_s);
+}
+
+void ProgressReporter::report_locked(const std::string& label, const char* how,
+                                     double wall_s) {
+  if (!enabled_) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  // ETA from the throughput of completed work so far: remaining runs at the
+  // observed overall rate. Coarse but stable, and it converges as the grid
+  // drains; cached runs are nearly free so they barely perturb the rate.
+  const std::size_t remaining = total_ - completed_;
+  double eta = -1.0;
+  if (completed_ > 0 && elapsed > 0.0) {
+    eta = elapsed / static_cast<double>(completed_) * static_cast<double>(remaining);
+  }
+  if (wall_s > 0.0) {
+    std::fprintf(stderr, "[exp] %3zu/%zu %-6s %-28s %6.1fs  elapsed %6.1fs",
+                 completed_, total_, how, label.c_str(), wall_s, elapsed);
+  } else {
+    std::fprintf(stderr, "[exp] %3zu/%zu %-6s %-28s %6s  elapsed %6.1fs", completed_,
+                 total_, how, label.c_str(), "-", elapsed);
+  }
+  if (remaining > 0 && eta >= 0.0) {
+    std::fprintf(stderr, "  eta %6.1fs", eta);
+  }
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+void ProgressReporter::finish(std::size_t cache_hits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  std::fprintf(stderr,
+               "[exp] grid complete: %zu runs (%zu executed, %zu cached) in %.1fs\n",
+               total_, executed_, cache_hits, elapsed);
+  std::fflush(stderr);
+}
+
+}  // namespace ones::exp

@@ -1,0 +1,40 @@
+// Progress / ETA reporting for grid runs.
+//
+// Writes to stderr only: stdout is reserved for metric output, which must be
+// byte-identical across thread counts and cache states. Wall-clock time is
+// used here purely for cosmetics (elapsed / ETA); it never influences any
+// simulation result, so the repo's determinism invariant is preserved.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace ones::exp {
+
+class ProgressReporter {
+ public:
+  /// `total` runs in the grid; `enabled` = false silences all output.
+  ProgressReporter(std::size_t total, bool enabled);
+
+  /// A run was served from the cache.
+  void on_cached(const std::string& label);
+  /// A run was executed live, taking `wall_s` seconds.
+  void on_done(const std::string& label, double wall_s);
+  /// Print the closing line (cache hit counts, total wall time).
+  void finish(std::size_t cache_hits);
+
+ private:
+  void report_locked(const std::string& label, const char* how, double wall_s);
+
+  std::size_t total_;
+  bool enabled_;
+  std::size_t completed_ = 0;  ///< guarded by mu_
+  std::size_t executed_ = 0;   ///< live (non-cached) runs, guarded by mu_
+  double exec_wall_s_ = 0.0;   ///< sum of live run durations, guarded by mu_
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;
+};
+
+}  // namespace ones::exp

@@ -1,0 +1,36 @@
+// The metrics collected from one experiment run, and their JSON round-trip
+// for the on-disk result cache.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ones::exp {
+
+struct RunResult {
+  telemetry::Summary summary;
+  std::vector<double> jcts;
+  std::vector<double> exec_times;
+  std::vector<double> queue_times;
+  /// Per-job JCT, ordered by JobId (for paired significance tests).
+  std::map<JobId, double> jct_by_job;
+  std::size_t completed = 0;
+  /// True when the result was served from the cache (diagnostics only;
+  /// not serialized).
+  bool from_cache = false;
+};
+
+/// Serialize with stable key order and exact (%.17g) doubles, so a cached
+/// result formats byte-identically to the live run that produced it.
+std::string result_to_json(const RunResult& result);
+
+/// Parse a cache payload. Throws std::runtime_error on malformed input or a
+/// schema-version mismatch (callers treat that as a cache miss).
+RunResult result_from_json(const std::string& json);
+
+}  // namespace ones::exp

@@ -1,0 +1,108 @@
+#include "exp/run_spec.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace ones::exp {
+
+namespace {
+
+void put(std::ostringstream& os, const char* key, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << key << '=' << buf << '\n';
+}
+
+void put(std::ostringstream& os, const char* key, int v) { os << key << '=' << v << '\n'; }
+
+void put(std::ostringstream& os, const char* key, std::uint64_t v) {
+  os << key << '=' << v << '\n';
+}
+
+void put(std::ostringstream& os, const char* key, bool v) {
+  os << key << '=' << (v ? 1 : 0) << '\n';
+}
+
+void put(std::ostringstream& os, const char* key, const std::string& v) {
+  os << key << '=' << v << '\n';
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& data) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : data) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string canonical_serialize(const RunSpec& spec) {
+  std::ostringstream os;
+  put(os, "schema", kCacheSchemaVersion);
+  put(os, "scheduler", spec.scheduler);
+  put(os, "variant", spec.variant);
+
+  const auto& t = spec.sim.topology;
+  put(os, "topology.num_nodes", t.num_nodes);
+  put(os, "topology.gpus_per_node", t.gpus_per_node);
+  put(os, "topology.intra_node_bw_Bps", t.intra_node_bw_Bps);
+  put(os, "topology.inter_node_bw_Bps", t.inter_node_bw_Bps);
+  put(os, "topology.intra_node_latency_s", t.intra_node_latency_s);
+  put(os, "topology.inter_node_latency_s", t.inter_node_latency_s);
+
+  const auto& c = spec.sim.convergence;
+  put(os, "convergence.patience_epochs", c.patience_epochs);
+  put(os, "convergence.spike_per_extra_doubling", c.spike_per_extra_doubling);
+  put(os, "convergence.disturbance_decay", c.disturbance_decay);
+  put(os, "convergence.progress_slowdown", c.progress_slowdown);
+  put(os, "convergence.disturbance_accuracy_drop", c.disturbance_accuracy_drop);
+  put(os, "convergence.accuracy_noise", c.accuracy_noise);
+  put(os, "convergence.lr_linear_scaling", c.lr_linear_scaling);
+
+  const auto& k = spec.sim.costs;
+  put(os, "costs.pause_step_s", k.pause_step_s);
+  put(os, "costs.resize_modules_s", k.resize_modules_s);
+  put(os, "costs.resize_per_byte_s", k.resize_per_byte_s);
+  put(os, "costs.reconnect_base_s", k.reconnect_base_s);
+  put(os, "costs.reconnect_per_worker_s", k.reconnect_per_worker_s);
+  put(os, "costs.hdfs_bw_Bps", k.hdfs_bw_Bps);
+  put(os, "costs.scheduler_delay_s", k.scheduler_delay_s);
+  put(os, "costs.framework_init_s", k.framework_init_s);
+  put(os, "costs.data_pipeline_warmup_s", k.data_pipeline_warmup_s);
+  put(os, "costs.model_load_s", k.model_load_s);
+
+  const auto& o = spec.sim.oracle;
+  put(os, "oracle.noise_sigma", o.noise_sigma);
+  put(os, "oracle.noise_seed", o.noise_seed);
+
+  put(os, "sim.max_sim_time_s", spec.sim.max_sim_time_s);
+  put(os, "sim.record_epoch_logs", spec.sim.record_epoch_logs);
+
+  const auto& w = spec.trace;
+  put(os, "trace.num_jobs", w.num_jobs);
+  put(os, "trace.mean_interarrival_s", w.mean_interarrival_s);
+  put(os, "trace.seed", w.seed);
+  put(os, "trace.poisson_arrivals", w.poisson_arrivals);
+  put(os, "trace.abnormal_fraction", w.abnormal_fraction);
+  put(os, "trace.abnormal_mean_lifetime_s", w.abnormal_mean_lifetime_s);
+  return os.str();
+}
+
+std::string cache_key(const RunSpec& spec) {
+  std::string prefix = spec.scheduler;
+  if (!spec.variant.empty()) prefix += "-" + spec.variant;
+  for (char& ch : prefix) {
+    const unsigned char u = static_cast<unsigned char>(ch);
+    ch = std::isalnum(u) ? static_cast<char>(std::tolower(u)) : '_';
+  }
+  if (prefix.empty()) prefix = "run";
+  char hex[24];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(canonical_serialize(spec))));
+  return prefix + "-" + hex;
+}
+
+}  // namespace ones::exp

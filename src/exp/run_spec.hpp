@@ -1,0 +1,59 @@
+// Declarative description of one experiment run.
+//
+// A RunSpec is the unit the orchestrator fans out: a scheduler (by factory,
+// so every run gets a FRESH instance and parallel runs share no mutable
+// state), a simulation configuration, and a trace configuration. The
+// declarative part — everything except the factory — has a canonical text
+// serialization whose FNV-1a hash keys the on-disk result cache, so two
+// specs collide iff they describe the same simulation.
+//
+// The factory is deliberately excluded from the key: it is opaque code. Any
+// scheduler knob that is NOT captured by `sim`/`trace` (e.g. an ablation's
+// OnesConfig tweaks) MUST be reflected in `variant` or the cache will serve
+// stale results across configurations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sched/scheduler.hpp"
+#include "sched/simulation.hpp"
+#include "workload/trace.hpp"
+
+namespace ones::exp {
+
+/// Builds a fresh scheduler for one run. Must be safe to invoke from any
+/// worker thread (factories that share setup state — e.g. a lazily-trained
+/// DRL prototype — must synchronize internally, e.g. via std::call_once).
+using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>()>;
+
+/// Bump when the canonical serialization or the RunResult JSON layout
+/// changes; old cache entries then miss instead of deserializing garbage.
+inline constexpr int kCacheSchemaVersion = 1;
+
+struct RunSpec {
+  /// Scheduler display name; part of the cache key.
+  std::string scheduler;
+  /// Extra key material for configuration not captured by sim/trace
+  /// (ablation flags, non-default scheduler configs). Empty = defaults.
+  std::string variant;
+  sched::SimulationConfig sim;
+  workload::TraceConfig trace;
+  SchedulerFactory factory;
+};
+
+/// FNV-1a 64-bit hash (offset basis 14695981039346656037, prime 1099511628211).
+std::uint64_t fnv1a64(const std::string& data);
+
+/// Stable key=value rendering of every result-affecting field of the spec
+/// (plus the schema version). Doubles use %.17g so distinct values never
+/// alias.
+std::string canonical_serialize(const RunSpec& spec);
+
+/// Cache key: sanitized scheduler/variant prefix (human-debuggable) plus the
+/// 16-hex-digit FNV-1a hash of the canonical serialization.
+std::string cache_key(const RunSpec& spec);
+
+}  // namespace ones::exp
