@@ -4,16 +4,36 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// Pass --trace-dir=PATH to also write a structured trace per run
+// (quickstart_ones.jsonl / .trace.json and quickstart_fifo.jsonl /
+// .trace.json; the .trace.json files load in Perfetto or chrome://tracing).
+// tests/trace_test.cpp pins a golden digest of the ONES JSONL stream.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "core/ones_scheduler.hpp"
 #include "sched/fifo.hpp"
 #include "sched/simulation.hpp"
 #include "telemetry/metrics.hpp"
+#include "trace/sink.hpp"
 #include "workload/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ones;
+
+  std::string trace_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
+      trace_dir = argv[i] + 12;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-dir=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
 
   // A 4-node x 4-GPU cluster (16 GPUs) and 24 jobs arriving as a Poisson
   // process, drawn from the paper's Table 2 workload catalog.
@@ -30,9 +50,18 @@ int main() {
               config.topology.num_nodes * config.topology.gpus_per_node);
   std::printf("%s\n", telemetry::format_summary_header().c_str());
 
+  const auto make_writer = [&trace_dir](const char* stem) {
+    return trace_dir.empty()
+               ? nullptr
+               : std::make_unique<trace::RunTraceWriter>(trace_dir, stem);
+  };
+
   {
+    const auto writer = make_writer("quickstart_ones");
+    auto traced_config = config;
+    traced_config.trace_sink = writer.get();
     core::OnesScheduler ones_sched;
-    sched::ClusterSimulation sim(config, trace, ones_sched);
+    sched::ClusterSimulation sim(traced_config, trace, ones_sched);
     sim.run();
     const auto s = telemetry::summarize("ONES", sim.metrics(), sim.topology().total_gpus());
     std::printf("%s\n", telemetry::format_summary_row(s).c_str());
@@ -42,12 +71,18 @@ int main() {
                 static_cast<unsigned long long>(ones_sched.evolution_rounds()));
   }
   {
+    const auto writer = make_writer("quickstart_fifo");
+    auto traced_config = config;
+    traced_config.trace_sink = writer.get();
     sched::FifoScheduler fifo;
-    sched::ClusterSimulation sim(config, trace, fifo);
+    sched::ClusterSimulation sim(traced_config, trace, fifo);
     sim.run();
     const auto s = telemetry::summarize("FIFO", sim.metrics(), sim.topology().total_gpus());
     std::printf("%s\n", telemetry::format_summary_row(s).c_str());
     std::printf("  completed %zu/%d jobs\n", sim.completed_jobs(), trace_config.num_jobs);
+  }
+  if (!trace_dir.empty()) {
+    std::printf("traces written to %s/\n", trace_dir.c_str());
   }
   return 0;
 }

@@ -1,11 +1,11 @@
-#include "exp/json.hpp"
+#include "common/json.hpp"
 
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
-namespace ones::exp {
+namespace ones {
 
 const JsonValue* JsonValue::find(const std::string& key) const {
   if (kind != Kind::Object) return nullptr;
@@ -248,4 +248,4 @@ class Parser {
 
 JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
 
-}  // namespace ones::exp
+}  // namespace ones

@@ -1,10 +1,11 @@
-// Minimal JSON reading/writing for the result cache.
+// Minimal JSON reading/writing shared by the exp result cache and the trace
+// module's JSONL / Chrome trace-event emitters.
 //
 // Hand-rolled on purpose: the repo takes no external dependencies, and the
-// cache only needs the subset of JSON that RunResult serialization emits
-// (objects, arrays, numbers, strings, booleans, null). Numbers are written
-// with %.17g so IEEE doubles round-trip exactly — a cached result must
-// reproduce the original run byte-for-byte once formatted.
+// callers only need the subset of JSON their serializations emit (objects,
+// arrays, numbers, strings, booleans, null). Numbers are written with %.17g
+// so IEEE doubles round-trip exactly — a cached result or an emitted trace
+// must reproduce the original run byte-for-byte once formatted.
 #pragma once
 
 #include <string>
@@ -12,7 +13,7 @@
 #include <utility>
 #include <vector>
 
-namespace ones::exp {
+namespace ones {
 
 struct JsonValue {
   enum class Kind { Null, Bool, Number, String, Array, Object };
@@ -38,4 +39,4 @@ std::string json_double(double v);
 /// Quote + escape a string for JSON output.
 std::string json_quote(const std::string& s);
 
-}  // namespace ones::exp
+}  // namespace ones

@@ -78,6 +78,14 @@ std::optional<cluster::Assignment> OnesScheduler::on_event(
     evolution_.step(ctx);
     ++rounds_;
   }
+  if (trace_sink_ != nullptr && config_.evolution.rounds_per_event > 0) {
+    trace_sink_->on_record({.kind = trace::RecordKind::EvolutionStep,
+                            .t = state.now,
+                            .count = rounds_,
+                            .detail = "+" +
+                                      std::to_string(config_.evolution.rounds_per_event) +
+                                      " rounds"});
+  }
 
   if (!update_condition(state, event)) return std::nullopt;
 

@@ -49,6 +49,7 @@ void ScalingSession::log_event(const std::string& what) {
   std::ostringstream os;
   os << "t=" << engine_.now() << "s  " << what;
   report_.timeline.push_back(os.str());
+  if (phase_hook_) phase_hook_(engine_.now(), what);
 }
 
 void ScalingSession::start() {

@@ -74,6 +74,15 @@ class ScalingSession {
   /// Kick off the protocol (schedules the first events).
   void start();
 
+  /// Optional milestone hook, invoked at every timeline entry with the
+  /// simulated time and message. The `trace` module adapts this into
+  /// ProtocolPhase records (trace::protocol_phase_hook) — a plain callback
+  /// keeps `elastic` below `trace` in the module layering. Set before
+  /// start(); null (the default) costs one branch per milestone.
+  void set_phase_hook(std::function<void(double t, const std::string& what)> hook) {
+    phase_hook_ = std::move(hook);
+  }
+
  private:
   void log_event(const std::string& what);
   void on_new_workers_ready();
@@ -87,6 +96,7 @@ class ScalingSession {
   CostConfig costs_;
   ScalingRequest request_;
   std::function<void(const ScalingReport&)> on_done_;
+  std::function<void(double, const std::string&)> phase_hook_;
   ScalingReport report_;
   std::vector<GpuId> added_;
   std::vector<GpuId> kept_;

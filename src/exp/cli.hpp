@@ -3,6 +3,7 @@
 //   --seeds=K       trace seeds per configuration (default: 1)
 //   --no-cache      bypass the on-disk result cache
 //   --cache-dir=P   cache directory (default: .ones-cache)
+//   --trace-dir=P   write a structured trace per executed run (off by default)
 //   --no-progress   silence the stderr progress reporter
 //   --help          print usage and exit
 //

@@ -20,6 +20,7 @@
 #include "exp/cache.hpp"
 #include "exp/result.hpp"
 #include "exp/run_spec.hpp"
+#include "trace/sink.hpp"
 
 namespace ones::exp {
 
@@ -31,12 +32,18 @@ struct GridOptions {
   std::string cache_dir = ".ones-cache";
   /// Progress / ETA lines on stderr.
   bool progress = true;
+  /// When non-empty, every EXECUTED run writes a structured trace pair
+  /// (`<cache_key>.jsonl` + `<cache_key>.trace.json`) into this directory.
+  /// Cache-served runs are not re-simulated, so they emit nothing. Tracing
+  /// never affects results, and is therefore not part of the cache key.
+  std::string trace_dir;
 };
 
 /// Execute one simulation: build the scheduler from the spec's factory,
 /// generate the trace, run, and collect metrics. (Also the body of each
 /// orchestrator worker; exposed for benches that run a single config.)
-RunResult execute_run(const RunSpec& spec);
+/// `trace_sink`, when non-null, receives the run's structured trace.
+RunResult execute_run(const RunSpec& spec, trace::TraceSink* trace_sink = nullptr);
 
 /// Collect metrics from an already-constructed simulation setup (the legacy
 /// single-run path used by light benches and examples).
@@ -46,8 +53,12 @@ RunResult run_simulation(const sched::SimulationConfig& config,
 
 /// Fan the grid out over `options.threads` workers. Preconditions
 /// (ONES_EXPECT): non-empty grid, threads >= 1, every spec has a factory and
-/// a scheduler name. The first exception thrown by a worker aborts the
-/// remaining queue and is rethrown on the calling thread.
+/// a scheduler name, and no two specs may map to the same cache key with
+/// different scheduler-factory types — that is the variant-aliasing bug
+/// DESIGN.md §6 warns about (a non-default scheduler config not reflected in
+/// RunSpec::variant), and it would silently serve one config's results for
+/// the other. The first exception thrown by a worker aborts the remaining
+/// queue and is rethrown on the calling thread.
 std::vector<RunResult> run_grid(const std::vector<RunSpec>& specs,
                                 const GridOptions& options = {});
 

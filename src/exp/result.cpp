@@ -4,7 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "exp/json.hpp"
+#include "common/json.hpp"
 #include "exp/run_spec.hpp"
 
 namespace ones::exp {

@@ -15,6 +15,7 @@
 #include "cluster/topology.hpp"
 #include "common/ids.hpp"
 #include "model/task.hpp"
+#include "trace/sink.hpp"
 #include "workload/trace.hpp"
 
 namespace ones::sched {
@@ -110,6 +111,15 @@ class Scheduler {
   /// the cluster, or nullopt to keep the current allocation.
   virtual std::optional<cluster::Assignment> on_event(const ClusterState& state,
                                                       const SchedulerEvent& event) = 0;
+
+  /// Install (or clear, with nullptr) the trace sink for policy-internal
+  /// records such as ONES's EvolutionStep. The simulation driver wires this
+  /// from its own config on construction; the sink is not owned.
+  void set_trace_sink(trace::TraceSink* sink) { trace_sink_ = sink; }
+
+ protected:
+  /// Null by default: emission sites must check before building a record.
+  trace::TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace ones::sched

@@ -86,6 +86,18 @@ ClusterSimulation::ClusterSimulation(const SimulationConfig& config,
   if (scheduler_.period_s() > 0.0) {
     engine_.schedule_after(scheduler_.period_s(), [this] { on_timer(); });
   }
+  if (config.trace_sink != nullptr) {
+    trace_stamper_.emplace(*config.trace_sink);
+    sink_ = &*trace_stamper_;
+    scheduler_.set_trace_sink(sink_);
+    engine_.set_fire_hook(
+        [this](double /*now*/, std::uint64_t seq) { trace_stamper_->set_seq(seq); });
+  }
+}
+
+ClusterSimulation::~ClusterSimulation() {
+  // The stamper dies with this object; never leave the scheduler pointing at it.
+  if (sink_ != nullptr) scheduler_.set_trace_sink(nullptr);
 }
 
 ClusterSimulation::JobRuntime& ClusterSimulation::runtime(JobId job) {
@@ -121,11 +133,24 @@ ClusterState ClusterSimulation::make_state() const {
 }
 
 void ClusterSimulation::run() {
+  if (sink_ != nullptr) {
+    sink_->on_record({.kind = trace::RecordKind::RunBegin,
+                      .t = engine_.now(),
+                      .gpus = topology_.total_gpus(),
+                      .global_batch = static_cast<int>(trace_.size()),
+                      .detail = scheduler_.name()});
+  }
   engine_.run_until(config_.max_sim_time_s);
   if (!all_completed()) {
     ONES_LOG(Warn) << "simulation ended with " << (trace_.size() - completed_count_)
                    << " unfinished job(s) — scheduler '" << scheduler_.name()
                    << "' left work stranded or hit the time limit";
+  }
+  if (sink_ != nullptr) {
+    sink_->on_record({.kind = trace::RecordKind::RunEnd,
+                      .t = engine_.now(),
+                      .count = completed_count_,
+                      .detail = ""});
   }
 }
 
@@ -170,6 +195,12 @@ void ClusterSimulation::on_arrival(JobId job) {
       rt.view.spec.dynamics_seed);
   arrived_order_.push_back(job);
   metrics_.on_submit(job, engine_.now());
+  if (sink_ != nullptr) {
+    sink_->on_record({.kind = trace::RecordKind::JobSubmitted,
+                      .t = engine_.now(),
+                      .job = job,
+                      .detail = rt.view.spec.variant.model_name});
+  }
   if (rt.view.spec.kill_after_s > 0.0) {
     // Abnormal ending (user abort / crash / early stop — §2.1).
     rt.kill_event = engine_.schedule_after(rt.view.spec.kill_after_s,
@@ -193,6 +224,10 @@ void ClusterSimulation::on_kill_event(JobId job) {
     current_.evict(job);
     update_busy();
   }
+  if (rt.resume_event != 0) {
+    engine_.cancel(rt.resume_event);
+    rt.resume_event = 0;
+  }
   rt.view.status = JobStatus::Completed;
   rt.view.aborted = true;
   rt.view.gpus = 0;
@@ -200,6 +235,13 @@ void ClusterSimulation::on_kill_event(JobId job) {
   rt.tput_sps = 0.0;
   metrics_.on_abort(job, now);
   ++completed_count_;
+  if (sink_ != nullptr) {
+    sink_->on_record({.kind = trace::RecordKind::JobCompleted,
+                      .t = now,
+                      .job = job,
+                      .aborted = true,
+                      .detail = ""});
+  }
   notify(EventKind::JobComplete, job);
 }
 
@@ -240,6 +282,12 @@ void ClusterSimulation::on_epoch_event(JobId job) {
 
 void ClusterSimulation::notify(EventKind kind, JobId job) {
   ONES_EXPECT_MSG(!in_notify_, "re-entrant scheduler notification");
+  if (sink_ != nullptr) {
+    sink_->on_record({.kind = trace::RecordKind::SimEvent,
+                      .t = engine_.now(),
+                      .job = job,
+                      .detail = event_name(kind)});
+  }
   in_notify_ = true;
   const ClusterState state = make_state();
   std::optional<cluster::Assignment> next = scheduler_.on_event(state, {kind, job});
@@ -308,6 +356,44 @@ void ClusterSimulation::apply(cluster::Assignment next) {
       engine_.cancel(rt.epoch_event);
       rt.epoch_event = 0;
     }
+    if (sink_ != nullptr) {
+      sink_->on_record({.kind = trace::RecordKind::ElasticPaused,
+                        .t = now,
+                        .job = j,
+                        .cost_s = cost,
+                        .detail = scheduler_.mechanism() == ScalingMechanism::Elastic
+                                      ? "elastic"
+                                      : "checkpoint"});
+      if (rt.view.global_batch != old_batch) {
+        sink_->on_record({.kind = trace::RecordKind::BatchResized,
+                          .t = now,
+                          .job = j,
+                          .global_batch = rt.view.global_batch,
+                          .old_batch = old_batch,
+                          .detail = ""});
+      }
+      sink_->on_record({.kind = trace::RecordKind::JobReconfigured,
+                        .t = now,
+                        .job = j,
+                        .gpus = rt.view.gpus,
+                        .global_batch = rt.view.global_batch,
+                        .old_gpus = old_workers,
+                        .old_batch = old_batch,
+                        .cost_s = cost,
+                        .detail = trace::format_gpu_list(gpus)});
+      // The resume record must carry the resume timestamp, so it is emitted
+      // by a side-effect-free engine event at produce_start (cancelled if the
+      // job is stopped first). A re-reconfiguration during the pause replaces
+      // the pending resume: one bracket, closed once.
+      if (rt.resume_event != 0) engine_.cancel(rt.resume_event);
+      rt.resume_event = engine_.schedule_at(rt.produce_start, [this, j] {
+        runtime(j).resume_event = 0;
+        sink_->on_record({.kind = trace::RecordKind::ElasticResumed,
+                          .t = engine_.now(),
+                          .job = j,
+                          .detail = ""});
+      });
+    }
     schedule_epoch_event(j);
   }
   update_busy();
@@ -319,6 +405,8 @@ void ClusterSimulation::start_job(JobId job, const cluster::Assignment& next, do
   rt.view.status = JobStatus::Running;
   metrics_.on_run_start(job, now);
 
+  const bool first_run = !rt.ever_ran;
+  const int prev_batch = rt.last_batch;
   const int new_batch = next.global_batch(job);
   double cost;
   if (!rt.ever_ran) {
@@ -348,6 +436,29 @@ void ClusterSimulation::start_job(JobId job, const cluster::Assignment& next, do
   rt.view.throughput_sps = rt.tput_sps;
   rt.produce_start = now + cost;
   rt.last_accrue = rt.produce_start;
+  if (sink_ != nullptr) {
+    if (first_run) {
+      sink_->on_record({.kind = trace::RecordKind::JobAdmitted,
+                        .t = now,
+                        .job = job,
+                        .detail = ""});
+    } else if (new_batch != prev_batch) {
+      // Resuming a preempted job in a new batch configuration.
+      sink_->on_record({.kind = trace::RecordKind::BatchResized,
+                        .t = now,
+                        .job = job,
+                        .global_batch = new_batch,
+                        .old_batch = prev_batch,
+                        .detail = ""});
+    }
+    sink_->on_record({.kind = trace::RecordKind::JobPlaced,
+                      .t = now,
+                      .job = job,
+                      .gpus = rt.view.gpus,
+                      .global_batch = new_batch,
+                      .cost_s = cost,
+                      .detail = trace::format_gpu_list(next.gpus_of(job))});
+  }
   schedule_epoch_event(job);
 }
 
@@ -357,6 +468,18 @@ void ClusterSimulation::stop_job(JobId job, double now) {
   if (rt.epoch_event != 0) {
     engine_.cancel(rt.epoch_event);
     rt.epoch_event = 0;
+  }
+  if (rt.resume_event != 0) {
+    engine_.cancel(rt.resume_event);  // preempted mid-pause; bracket closes here
+    rt.resume_event = 0;
+  }
+  if (sink_ != nullptr) {
+    sink_->on_record({.kind = trace::RecordKind::JobPreempted,
+                      .t = now,
+                      .job = job,
+                      .old_gpus = rt.view.gpus,
+                      .old_batch = rt.view.global_batch,
+                      .detail = ""});
   }
   rt.view.status = JobStatus::Waiting;
   rt.last_batch = rt.view.global_batch;
@@ -378,6 +501,10 @@ void ClusterSimulation::complete_job(JobId job, double now) {
     engine_.cancel(rt.kill_event);  // converged before the abnormal ending
     rt.kill_event = 0;
   }
+  if (rt.resume_event != 0) {
+    engine_.cancel(rt.resume_event);
+    rt.resume_event = 0;
+  }
   rt.view.status = JobStatus::Completed;
   rt.view.gpus = 0;
   rt.view.global_batch = 0;
@@ -386,6 +513,10 @@ void ClusterSimulation::complete_job(JobId job, double now) {
   current_.evict(job);
   update_busy();
   ++completed_count_;
+  if (sink_ != nullptr) {
+    sink_->on_record(
+        {.kind = trace::RecordKind::JobCompleted, .t = now, .job = job, .detail = ""});
+  }
 }
 
 void ClusterSimulation::schedule_epoch_event(JobId job) {

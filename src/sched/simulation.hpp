@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +39,10 @@ struct SimulationConfig {
   double max_sim_time_s = 1e7;
   /// Keep per-epoch logs in the JobViews (needed by ONES and Optimus).
   bool record_epoch_logs = true;
+  /// Structured run tracing (not owned; null — the default — disables it and
+  /// costs one branch per emission site). Deliberately NOT part of the
+  /// orchestrator cache key: tracing must never change results.
+  trace::TraceSink* trace_sink = nullptr;
 };
 
 class ClusterSimulation {
@@ -46,6 +51,7 @@ class ClusterSimulation {
                     Scheduler& scheduler);
   ClusterSimulation(const ClusterSimulation&) = delete;
   ClusterSimulation& operator=(const ClusterSimulation&) = delete;
+  ~ClusterSimulation();
 
   /// Run the whole trace to completion (or to max_sim_time_s).
   void run();
@@ -71,6 +77,7 @@ class ClusterSimulation {
     double epoch_samples_done = 0.0;
     sim::EventId epoch_event = 0;
     sim::EventId kill_event = 0;
+    sim::EventId resume_event = 0;  ///< pending elastic_resumed trace record
     bool ever_ran = false;
     int last_batch = 0;  ///< batch before the most recent stop/reconfigure
     model::TrainDynamics::EpochResult last_result;
@@ -113,6 +120,12 @@ class ClusterSimulation {
   std::size_t completed_count_ = 0;
   std::uint64_t deployments_ = 0;
   bool in_notify_ = false;
+
+  /// Stamps the live engine seq onto every record; all emitters (this driver
+  /// and the scheduler) write through `sink_`, which points at the stamper
+  /// when tracing is on and stays null otherwise.
+  std::optional<trace::SeqStampedSink> trace_stamper_;
+  trace::TraceSink* sink_ = nullptr;
 };
 
 }  // namespace ones::sched

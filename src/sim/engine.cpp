@@ -43,6 +43,7 @@ bool SimEngine::step() {
     callbacks_.erase(it);
     now_ = top.when;
     ++fired_;
+    if (fire_hook_) fire_hook_(now_, fired_);
     fn();
     return true;
   }

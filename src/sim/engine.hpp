@@ -60,6 +60,17 @@ class SimEngine {
   /// Total number of events fired so far.
   std::uint64_t fired() const { return fired_; }
 
+  /// Invoked after the clock advances for every fired event, before its
+  /// callback runs. `seq` is the fire-order counter (`fired()`), which is
+  /// strictly increasing — unlike the scheduling sequence, which the heap can
+  /// fire out of order. Tracing hook: the trace recorder stamps emitted
+  /// records with it so a replay can cross-check emission order against
+  /// event order. Kept as a plain std::function so `sim` stays below `trace`
+  /// in the module layering; an empty hook costs one branch.
+  void set_fire_hook(std::function<void(SimTime now, std::uint64_t seq)> hook) {
+    fire_hook_ = std::move(hook);
+  }
+
  private:
   struct Entry {
     SimTime when;
@@ -73,6 +84,7 @@ class SimEngine {
   };
 
   SimTime now_ = 0.0;
+  std::function<void(SimTime, std::uint64_t)> fire_hook_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t fired_ = 0;

@@ -1,0 +1,424 @@
+#include "trace/replay.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace ones::trace {
+
+std::string ReplayReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& issue : issues) {
+    os << "record #" << issue.record_index << ": " << issue.message << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+struct JobState {
+  enum class S { None, Waiting, Running, Done };
+  S s = S::None;
+  bool admitted = false;
+  bool paused = false;           ///< inside a reconfiguration bracket (I7)
+  int batch = 0;                 ///< last placed/reconfigured global batch
+  bool pending_resize = false;   ///< batch_resized announced, not yet applied
+  int pending_new = 0;
+  std::vector<GpuId> gpus;
+};
+
+class Checker {
+ public:
+  explicit Checker(const std::vector<TraceRecord>& records) : records_(records) {}
+
+  ReplayReport run() {
+    for (index_ = 0; index_ < records_.size(); ++index_) {
+      step(records_[index_]);
+    }
+    finish();
+    report_.records = records_.size();
+    report_.jobs = jobs_.size();
+    return std::move(report_);
+  }
+
+ private:
+  void issue(const std::string& message) {
+    report_.issues.push_back({index_, message});
+  }
+
+  JobState* job_state(const TraceRecord& r) {
+    if (r.job == kInvalidJob) {
+      issue(std::string(kind_name(r.kind)) + " without a job id");
+      return nullptr;
+    }
+    return &jobs_[r.job];
+  }
+
+  /// Validate a placement GPU list (I4/I5) and claim it within the current
+  /// deployment transaction. A redeployment swaps the whole assignment in one
+  /// engine event, so every record it emits carries the same engine seq; GPU
+  /// exclusivity is only meaningful at transaction boundaries (all releases
+  /// land before any claim is judged — see flush_txn()).
+  void occupy(const TraceRecord& r, JobState& js) {
+    std::vector<GpuId> gpus;
+    try {
+      gpus = parse_gpu_list(r.detail);
+    } catch (const std::exception& e) {
+      issue(e.what());
+      return;
+    }
+    if (static_cast<int>(gpus.size()) != r.gpus) {
+      issue("gpu list length " + std::to_string(gpus.size()) +
+            " != worker count " + std::to_string(r.gpus));
+    }
+    if (r.global_batch < static_cast<int>(gpus.size()) || r.global_batch < 1) {
+      issue("global batch " + std::to_string(r.global_batch) +
+            " cannot cover " + std::to_string(gpus.size()) + " workers");
+    }
+    for (GpuId g : gpus) {
+      if (g < 0 || g >= total_gpus_) {
+        issue("gpu " + std::to_string(g) + " out of range [0, " +
+              std::to_string(total_gpus_) + ")");
+        continue;
+      }
+      txn_claims_.push_back({g, r.job, index_});
+    }
+    js.gpus = std::move(gpus);
+  }
+
+  void release(JobState& js) {
+    txn_releases_.insert(txn_releases_.end(), js.gpus.begin(), js.gpus.end());
+    js.gpus.clear();
+  }
+
+  /// Settle the pending deployment transaction: releases first, then claims.
+  /// Issues are attributed to the record that made the offending claim.
+  void flush_txn() {
+    for (GpuId g : txn_releases_) {
+      if (g >= 0 && g < total_gpus_ &&
+          owner_[static_cast<std::size_t>(g)] != kInvalidJob) {
+        owner_[static_cast<std::size_t>(g)] = kInvalidJob;
+        --occupied_;
+      }
+    }
+    txn_releases_.clear();
+    for (const auto& claim : txn_claims_) {
+      JobId& owner = owner_[static_cast<std::size_t>(claim.gpu)];
+      if (owner != kInvalidJob) {
+        report_.issues.push_back(
+            {claim.index, "gpu " + std::to_string(claim.gpu) +
+                              " double-allocated: held by job " + std::to_string(owner) +
+                              ", claimed by job " + std::to_string(claim.job)});
+        continue;
+      }
+      owner = claim.job;
+      ++occupied_;
+    }
+    if (!txn_claims_.empty() && occupied_ > total_gpus_) {
+      report_.issues.push_back(
+          {txn_claims_.back().index, "occupied GPUs " + std::to_string(occupied_) +
+                                         " exceed capacity " + std::to_string(total_gpus_)});
+    }
+    txn_claims_.clear();
+  }
+
+  /// I6: a placement/reconfigure batch must match the tracked batch, with
+  /// changes announced by a preceding batch_resized record.
+  void apply_batch(const TraceRecord& r, JobState& js, bool first_placement) {
+    if (first_placement) {
+      js.batch = r.global_batch;
+      return;
+    }
+    const int expected = js.pending_resize ? js.pending_new : js.batch;
+    if (r.global_batch != expected) {
+      issue("batch " + std::to_string(r.global_batch) + " does not match " +
+            (js.pending_resize ? "announced resize to " : "tracked batch ") +
+            std::to_string(expected));
+    }
+    js.batch = r.global_batch;
+    js.pending_resize = false;
+  }
+
+  void step(const TraceRecord& r) {
+    // I2: monotonic time and engine sequence.
+    if (index_ > 0) {
+      if (r.t < prev_t_) {
+        issue("timestamp " + std::to_string(r.t) + " precedes " +
+              std::to_string(prev_t_));
+      }
+      if (r.seq < prev_seq_) {
+        issue("engine seq " + std::to_string(r.seq) + " precedes " +
+              std::to_string(prev_seq_));
+      }
+    }
+    if (index_ > 0 && r.seq != prev_seq_) flush_txn();
+    prev_t_ = r.t;
+    prev_seq_ = r.seq;
+
+    // I1: framing.
+    if (index_ == 0 && r.kind != RecordKind::RunBegin) {
+      issue("trace does not start with run_begin");
+    }
+    if (saw_run_end_ && r.kind != RecordKind::RunEnd) {
+      issue("record after run_end");
+    }
+
+    switch (r.kind) {
+      case RecordKind::RunBegin: {
+        if (index_ != 0) {
+          issue("run_begin not at the start of the trace");
+          break;
+        }
+        if (r.gpus < 1) issue("run_begin with non-positive cluster size");
+        total_gpus_ = r.gpus;
+        owner_.assign(static_cast<std::size_t>(std::max(total_gpus_, 0)), kInvalidJob);
+        break;
+      }
+      case RecordKind::RunEnd: {
+        // run_end shares the final event's seq; settle that event first so the
+        // leftover-allocation check below sees post-transaction ownership.
+        flush_txn();
+        if (saw_run_end_) issue("duplicate run_end");
+        saw_run_end_ = true;
+        // I8: totals.
+        if (r.count != completed_) {
+          issue("run_end reports " + std::to_string(r.count) + " finished jobs, trace has " +
+                std::to_string(completed_) + " job_completed records");
+        }
+        if (completed_ == jobs_.size() && occupied_ != 0) {
+          issue("all jobs finished but " + std::to_string(occupied_) +
+                " GPU(s) still allocated");
+        }
+        break;
+      }
+      case RecordKind::JobSubmitted: {
+        JobState* js = job_state(r);
+        if (js == nullptr) break;
+        if (js->s != JobState::S::None) {
+          issue("job " + std::to_string(r.job) + " submitted twice");
+          break;
+        }
+        js->s = JobState::S::Waiting;
+        break;
+      }
+      case RecordKind::JobAdmitted: {
+        JobState* js = job_state(r);
+        if (js == nullptr) break;
+        if (js->s != JobState::S::Waiting) {
+          issue("job " + std::to_string(r.job) + " admitted while not waiting");
+        }
+        if (js->admitted) issue("job " + std::to_string(r.job) + " admitted twice");
+        js->admitted = true;
+        break;
+      }
+      case RecordKind::JobPlaced: {
+        JobState* js = job_state(r);
+        if (js == nullptr) break;
+        if (js->s != JobState::S::Waiting) {
+          issue("job " + std::to_string(r.job) + " placed while not waiting");
+          break;
+        }
+        if (!js->admitted) {
+          issue("job " + std::to_string(r.job) + " placed before being admitted");
+        }
+        const bool first_placement = js->batch == 0;
+        occupy(r, *js);
+        apply_batch(r, *js, first_placement);
+        js->s = JobState::S::Running;
+        break;
+      }
+      case RecordKind::JobPreempted: {
+        JobState* js = job_state(r);
+        if (js == nullptr) break;
+        if (js->s != JobState::S::Running) {
+          issue("job " + std::to_string(r.job) + " preempted while not running");
+          break;
+        }
+        if (r.old_gpus != static_cast<int>(js->gpus.size())) {
+          issue("preemption reports " + std::to_string(r.old_gpus) +
+                " workers, tracked " + std::to_string(js->gpus.size()));
+        }
+        if (r.old_batch != js->batch) {
+          issue("preemption reports batch " + std::to_string(r.old_batch) +
+                ", tracked " + std::to_string(js->batch));
+        }
+        if (js->pending_resize) {
+          issue("job " + std::to_string(r.job) + " preempted with a dangling batch_resized");
+          js->pending_resize = false;
+        }
+        release(*js);
+        js->paused = false;  // the bracket closes with the preemption (I7)
+        js->s = JobState::S::Waiting;
+        break;
+      }
+      case RecordKind::JobReconfigured: {
+        JobState* js = job_state(r);
+        if (js == nullptr) break;
+        if (js->s != JobState::S::Running) {
+          issue("job " + std::to_string(r.job) + " reconfigured while not running");
+          break;
+        }
+        if (!js->paused) {
+          issue("job " + std::to_string(r.job) +
+                " reconfigured without an elastic_paused announcement");
+        }
+        if (r.old_gpus != static_cast<int>(js->gpus.size())) {
+          issue("reconfiguration reports " + std::to_string(r.old_gpus) +
+                " previous workers, tracked " + std::to_string(js->gpus.size()));
+        }
+        release(*js);
+        occupy(r, *js);
+        apply_batch(r, *js, /*first_placement=*/false);
+        break;
+      }
+      case RecordKind::BatchResized: {
+        JobState* js = job_state(r);
+        if (js == nullptr) break;
+        if (js->s != JobState::S::Running &&
+            !(js->s == JobState::S::Waiting && js->admitted)) {
+          issue("batch_resized for job " + std::to_string(r.job) +
+                " that has never run");
+        }
+        if (r.old_batch != js->batch) {
+          issue("batch_resized from " + std::to_string(r.old_batch) +
+                " but tracked batch is " + std::to_string(js->batch));
+        }
+        if (js->pending_resize) {
+          issue("job " + std::to_string(r.job) + " resized twice without applying");
+        }
+        js->pending_resize = true;
+        js->pending_new = r.global_batch;
+        break;
+      }
+      case RecordKind::JobCompleted: {
+        JobState* js = job_state(r);
+        if (js == nullptr) break;
+        if (js->s == JobState::S::None || js->s == JobState::S::Done) {
+          issue("job " + std::to_string(r.job) + " completed " +
+                (js->s == JobState::S::Done ? "twice" : "before submission"));
+          break;
+        }
+        release(*js);
+        js->paused = false;
+        js->pending_resize = false;
+        js->s = JobState::S::Done;
+        ++completed_;
+        break;
+      }
+      case RecordKind::ElasticPaused: {
+        JobState* js = job_state(r);
+        if (js == nullptr) break;
+        if (js->s != JobState::S::Running) {
+          issue("elastic pause for job " + std::to_string(r.job) + " while not running");
+          break;
+        }
+        js->paused = true;
+        break;
+      }
+      case RecordKind::ElasticResumed: {
+        JobState* js = job_state(r);
+        if (js == nullptr) break;
+        if (js->s != JobState::S::Running || !js->paused) {
+          issue("elastic resume for job " + std::to_string(r.job) +
+                " without an open pause");
+          break;
+        }
+        js->paused = false;
+        break;
+      }
+      case RecordKind::ProtocolPhase:
+      case RecordKind::EvolutionStep:
+        break;  // informational milestones; no state transition
+      case RecordKind::SimEvent: {
+        // I7: a paused job must make no training progress until resume.
+        if (r.detail == "epoch" && r.job != kInvalidJob) {
+          auto it = jobs_.find(r.job);
+          if (it != jobs_.end() && it->second.paused) {
+            issue("job " + std::to_string(r.job) +
+                  " completed an epoch inside a reconfiguration pause");
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  void finish() {
+    flush_txn();
+    index_ = records_.empty() ? 0 : records_.size() - 1;
+    if (records_.empty()) {
+      report_.issues.push_back({0, "empty trace"});
+      return;
+    }
+    if (!saw_run_end_) issue("trace has no run_end");
+    for (const auto& [id, js] : jobs_) {
+      if (js.paused) {
+        issue("job " + std::to_string(id) + " left inside an unclosed pause bracket");
+      }
+    }
+  }
+
+  const std::vector<TraceRecord>& records_;
+  ReplayReport report_;
+  std::size_t index_ = 0;
+  double prev_t_ = 0.0;
+  std::uint64_t prev_seq_ = 0;
+  int total_gpus_ = 0;
+  int occupied_ = 0;
+  bool saw_run_end_ = false;
+  std::size_t completed_ = 0;
+  struct PendingClaim {
+    GpuId gpu;
+    JobId job;
+    std::size_t index;  ///< record that made the claim, for issue attribution
+  };
+  std::vector<GpuId> txn_releases_;
+  std::vector<PendingClaim> txn_claims_;
+  std::vector<JobId> owner_;
+  std::unordered_map<JobId, JobState> jobs_;
+};
+
+}  // namespace
+
+ReplayReport TraceReplayer::check(const std::vector<TraceRecord>& records) const {
+  return Checker(records).run();
+}
+
+ReplayReport TraceReplayer::check_jsonl(std::string_view text) const {
+  std::vector<TraceRecord> records;
+  std::size_t start = 0;
+  std::size_t line_no = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    if (!line.empty()) {
+      try {
+        records.push_back(record_from_jsonl_line(line));
+      } catch (const std::exception& e) {
+        // Validate the readable prefix; everything past the corruption is
+        // untrustworthy either way.
+        ReplayReport report = check(records);
+        report.issues.push_back({line_no, std::string("unparseable line: ") + e.what()});
+        return report;
+      }
+      ++line_no;
+    }
+    start = end + 1;
+  }
+  return check(records);
+}
+
+ReplayReport TraceReplayer::check_file(const std::string& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ReplayReport report;
+    report.issues.push_back({0, "cannot open trace file '" + path + "'"});
+    return report;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return check_jsonl(buf.str());
+}
+
+}  // namespace ones::trace

@@ -1,0 +1,68 @@
+// Trace replay and structural invariant checking.
+//
+// `TraceReplayer` re-reads an emitted trace and re-derives the cluster and
+// job state it implies, validating on every record that the run it describes
+// was structurally legal. A scheduler regression that reorders decisions
+// without moving headline JCT is invisible to end-of-run telemetry; it is
+// loud here. Checked invariants (DESIGN.md §8 lists them with rationale):
+//
+//   I1  framing: the stream starts with run_begin (positive cluster size)
+//       and ends with at most one run_end, which must be last.
+//   I2  time: timestamps are non-decreasing in emission order, and so is the
+//       engine event sequence number stamped on each record.
+//   I3  lifecycle: submitted exactly once before any other record; admitted
+//       exactly once, at the first placement; placed only while waiting;
+//       preempted / reconfigured / paused only while running; completed is
+//       terminal (no further lifecycle records for the job).
+//   I4  GPU exclusivity: placement GPU lists are well-formed (in range, no
+//       duplicates, length == worker count) and no GPU hosts two jobs.
+//   I5  capacity: occupied GPUs never exceed the cluster size, and every
+//       placed job has global batch >= its worker count (local batch >= 1).
+//   I6  batch continuity: batch_resized announces every batch change (its
+//       old value must match the tracked batch) and placement/reconfigure
+//       records must agree with the announced value.
+//   I7  pause bracketing: every job_reconfigured is announced by an
+//       elastic_paused; the bracket closes only via elastic_resumed,
+//       job_preempted or job_completed; a paused job makes no training
+//       progress (no epoch sim_event) until the bracket closes.
+//   I8  totals: run_end's finished count equals the job_completed records
+//       seen, and a fully-finished run leaves every GPU free.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace ones::trace {
+
+struct ReplayIssue {
+  std::size_t record_index = 0;  ///< 0-based index into the record stream
+  std::string message;
+};
+
+struct ReplayReport {
+  std::size_t records = 0;  ///< records examined
+  std::size_t jobs = 0;     ///< distinct jobs observed
+  std::vector<ReplayIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+  /// All issues, one per line, for assertion messages.
+  std::string to_string() const;
+};
+
+class TraceReplayer {
+ public:
+  /// Validate an in-memory record stream.
+  ReplayReport check(const std::vector<TraceRecord>& records) const;
+  /// Parse a JSONL document and validate it. Malformed lines are reported as
+  /// issues, not thrown (a trace that does not even parse must still produce
+  /// an inspectable report).
+  ReplayReport check_jsonl(std::string_view text) const;
+  /// Read `path` and validate its contents as JSONL.
+  ReplayReport check_file(const std::string& path) const;
+};
+
+}  // namespace ones::trace

@@ -3,16 +3,18 @@
 // sensitivity and grid preconditions.
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
 
 #include "exp/cache.hpp"
 #include "exp/cli.hpp"
-#include "exp/json.hpp"
+#include "common/json.hpp"
 #include "exp/orchestrator.hpp"
 #include "sched/fifo.hpp"
 #include "sched/tiresias.hpp"
+#include "trace/replay.hpp"
 
 namespace ones::exp {
 namespace {
@@ -305,6 +307,113 @@ TEST(ExpJson, RejectsMalformedAndWrongSchema) {
 }
 
 TEST(ExpCli, DefaultThreadsIsPositive) { EXPECT_GE(default_threads(), 1); }
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ExpTracing, TraceBytesIdenticalForAnyThreadCount) {
+  const auto specs = tiny_grid();
+  TempCacheDir dir_serial("ones_exp_trace_serial");
+  TempCacheDir dir_parallel("ones_exp_trace_parallel");
+
+  auto serial_opt = quiet_options(1);
+  serial_opt.trace_dir = dir_serial.path();
+  auto parallel_opt = quiet_options(4);
+  parallel_opt.trace_dir = dir_parallel.path();
+  run_grid(specs, serial_opt);
+  run_grid(specs, parallel_opt);
+
+  const trace::TraceReplayer replayer;
+  for (const auto& spec : specs) {
+    const std::string stem = cache_key(spec);
+    const std::string serial_bytes =
+        read_file(fs::path(dir_serial.path()) / (stem + ".jsonl"));
+    const std::string parallel_bytes =
+        read_file(fs::path(dir_parallel.path()) / (stem + ".jsonl"));
+    ASSERT_FALSE(serial_bytes.empty()) << stem;
+    EXPECT_EQ(serial_bytes, parallel_bytes) << stem;
+    EXPECT_EQ(read_file(fs::path(dir_serial.path()) / (stem + ".trace.json")),
+              read_file(fs::path(dir_parallel.path()) / (stem + ".trace.json")))
+        << stem;
+    // Every emitted trace is structurally legal.
+    const auto report = replayer.check_jsonl(serial_bytes);
+    EXPECT_TRUE(report.ok()) << stem << ":\n" << report.to_string();
+  }
+  // No stray files: one .jsonl + one .trace.json per spec, no leftover tmps.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir_serial.path())) {
+    ++files;
+    EXPECT_TRUE(e.path().extension() == ".jsonl" ||
+                e.path().extension() == ".json")
+        << e.path();
+  }
+  EXPECT_EQ(files, 2 * specs.size());
+}
+
+TEST(ExpTracing, CacheServedRunsEmitNoTrace) {
+  TempCacheDir cache_dir("ones_exp_trace_cache");
+  TempCacheDir trace_dir("ones_exp_trace_cached_out");
+  const std::vector<RunSpec> specs = {tiny_spec()};
+
+  // Cold pass populates the cache (no tracing requested).
+  run_grid(specs, quiet_options(1, true, cache_dir.path()));
+
+  // Warm pass asks for traces, but every run is cache-served: a trace of a
+  // run that never re-executed would be a lie, so nothing may be written.
+  auto opt = quiet_options(1, true, cache_dir.path());
+  opt.trace_dir = trace_dir.path();
+  const auto warm = run_grid(specs, opt);
+  ASSERT_TRUE(warm[0].from_cache);
+  EXPECT_TRUE(!fs::exists(trace_dir.path()) || fs::is_empty(trace_dir.path()));
+
+  // Bypassing the cache re-executes and traces again.
+  auto no_cache = quiet_options(1, false, cache_dir.path());
+  no_cache.trace_dir = trace_dir.path();
+  run_grid(specs, no_cache);
+  EXPECT_TRUE(
+      fs::exists(fs::path(trace_dir.path()) / (cache_key(specs[0]) + ".jsonl")));
+}
+
+TEST(ExpTracing, TracingDoesNotChangeResults) {
+  TempCacheDir trace_dir("ones_exp_trace_results");
+  const auto specs = tiny_grid();
+  const auto plain = run_grid(specs, quiet_options(2));
+  auto opt = quiet_options(2);
+  opt.trace_dir = trace_dir.path();
+  const auto traced = run_grid(specs, opt);
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    expect_identical(plain[i], traced[i]);
+  }
+}
+
+TEST(ExpOrchestrator, VariantAliasingIsRejected) {
+  // Two specs, identical declarative config (same cache key), but factories
+  // of different types — the classic "ablation config not reflected in
+  // RunSpec::variant" bug. The grid must refuse to run.
+  std::vector<RunSpec> specs = {tiny_spec(), tiny_spec()};
+  specs[1].factory = [] {
+    auto s = std::make_unique<sched::FifoScheduler>();
+    return std::unique_ptr<sched::Scheduler>(std::move(s));
+  };
+  EXPECT_THROW(run_grid(specs, quiet_options(1)), std::logic_error);
+
+  // Setting `variant` on one of them separates the cache keys and unblocks.
+  specs[1].variant = "alt";
+  const auto results = run_grid(specs, quiet_options(1));
+  EXPECT_EQ(results.size(), 2u);
+  expect_identical(results[0], results[1]);  // same underlying simulation
+
+  // Exact duplicates (same factory type) are benign and allowed.
+  const std::vector<RunSpec> dupes = {tiny_spec(), tiny_spec()};
+  const auto dupe_results = run_grid(dupes, quiet_options(2));
+  expect_identical(dupe_results[0], dupe_results[1]);
+}
 
 }  // namespace
 }  // namespace ones::exp
