@@ -112,7 +112,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto runs = exp::run_grid(specs, opt.grid);
+  telemetry::MetricsRegistry bench_registry;
+  exp::GridOptions grid = opt.grid;
+  grid.registry = &bench_registry;
+
+  const auto runs = exp::run_grid(specs, grid);
   const std::size_t n_rows = variants.size() + 1;
   const auto pooled = bench::pool_by_factory(runs, n_rows, opt.seeds);
 
@@ -134,5 +138,6 @@ int main(int argc, char** argv) {
     if (label == "full") continue;
     std::printf("  %-16s %+7.1f%%\n", label.c_str(), 100.0 * (jct - full_jct) / full_jct);
   }
+  bench::print_cache_footer(bench_registry);
   return 0;
 }

@@ -60,9 +60,13 @@ int main(int argc, char** argv) {
               trace_config.num_jobs,
               config.topology.num_nodes * config.topology.gpus_per_node);
 
+  telemetry::MetricsRegistry bench_registry;
+  exp::GridOptions grid = opt.grid;
+  grid.registry = &bench_registry;
+
   const auto factories = bench::all_factories();
   const auto specs = bench::seed_grid(factories, config, trace_config, opt.seeds);
-  const auto runs = exp::run_grid(specs, opt.grid);
+  const auto runs = exp::run_grid(specs, grid);
   const auto results = bench::pool_by_factory(runs, factories.size(), opt.seeds);
 
   std::printf("\nPanel (a/b/c): averages\n");
@@ -110,5 +114,6 @@ int main(int argc, char** argv) {
                 results[i].summary.scheduler.c_str(), 100.0 * base_ecdf.at(t),
                 ones_ecdf.at(t) >= base_ecdf.at(t) ? "OK" : "MISMATCH");
   }
+  bench::print_cache_footer(bench_registry);
   return 0;
 }

@@ -31,6 +31,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> order;
   for (const auto& f : factories) order.push_back(f.name);
 
+  telemetry::MetricsRegistry bench_registry;
+  exp::GridOptions grid = opt.grid;
+  grid.registry = &bench_registry;
+
   // Grid layout: capacity-major, then (factory-major, seed-minor) per
   // capacity — the seed_grid slices concatenate in node_counts order.
   std::vector<exp::RunSpec> specs;
@@ -39,7 +43,7 @@ int main(int argc, char** argv) {
                                                  trace_config, opt.seeds);
     specs.insert(specs.end(), capacity_specs.begin(), capacity_specs.end());
   }
-  const auto runs = exp::run_grid(specs, opt.grid);
+  const auto runs = exp::run_grid(specs, grid);
 
   // scheduler -> per-capacity summaries, pooled over seeds
   std::map<std::string, std::vector<telemetry::Summary>> table;
@@ -115,5 +119,6 @@ int main(int argc, char** argv) {
               "16 to 64 GPUs. On a fixed trace that holds while the largest cluster is\n"
               "still contended; once capacity outgrows the offered load, all schedulers\n"
               "converge and margins compress (see EXPERIMENTS.md).\n");
+  bench::print_cache_footer(bench_registry);
   return 0;
 }

@@ -221,4 +221,19 @@ inline void print_rule(char ch = '-', int width = 100) {
   std::putchar('\n');
 }
 
+/// stderr footer with the orchestrator cache statistics run_grid recorded
+/// into the bench's registry (GridOptions::registry). Printed next to the
+/// ScopedTimer line — stdout carries metric output that must stay
+/// byte-identical, so diagnostics never go there.
+inline void print_cache_footer(const telemetry::MetricsRegistry& registry) {
+  std::fprintf(stderr,
+               "[cache] hits=%.0f misses=%.0f stores=%.0f demotions=%.0f executed=%.0f\n",
+               registry.counter_value("exp_cache_hits_total"),
+               registry.counter_value("exp_cache_misses_total"),
+               registry.counter_value("exp_cache_stores_total"),
+               registry.counter_value("exp_cache_demotions_total"),
+               registry.counter_value("exp_runs_executed_total"));
+  std::fflush(stderr);
+}
+
 }  // namespace ones::bench

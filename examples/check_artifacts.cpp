@@ -1,0 +1,156 @@
+// CI artifact checker: validate a run's structured trace and exported
+// metrics files against their documented schemas (DESIGN.md §8 and §9).
+//
+//   check_artifacts <trace.jsonl> <metrics_stem>
+//
+// The trace is replayed through trace::TraceReplayer, which re-derives the
+// cluster state the stream implies and fails on any structural invariant
+// violation. The three metrics files written for <metrics_stem>
+// (<stem>.timeline.csv, <stem>.prom, <stem>.metrics.json) are checked for
+// well-formedness: CSV header and non-decreasing timestamps, Prometheus
+// text-format line grammar, and a parseable JSON object summary.
+//
+// Exits 0 when everything passes, 1 with a diagnostic on the first failure.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "trace/replay.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "check_artifacts: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void fail(const std::string& path, const std::string& why) {
+  std::fprintf(stderr, "check_artifacts: %s: %s\n", path.c_str(), why.c_str());
+  std::exit(1);
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(line);
+  while (std::getline(in, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+void check_timeline_csv(const std::string& path) {
+  const auto text = read_file(path);
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "t,series,value") {
+    fail(path, "first line must be the header \"t,series,value\"");
+  }
+  double prev_t = 0.0;
+  bool first = true;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    const auto parts = split(line, ',');
+    if (parts.size() != 3) fail(path, "row " + std::to_string(rows) + ": expected 3 columns");
+    std::size_t used = 0;
+    const double t = std::stod(parts[0], &used);
+    if (used != parts[0].size()) fail(path, "row " + std::to_string(rows) + ": bad timestamp");
+    if (!first && t < prev_t) {
+      fail(path, "row " + std::to_string(rows) + ": timestamps must be non-decreasing");
+    }
+    if (parts[1].empty()) fail(path, "row " + std::to_string(rows) + ": empty series name");
+    (void)std::stod(parts[2], &used);
+    if (used != parts[2].size()) fail(path, "row " + std::to_string(rows) + ": bad value");
+    prev_t = t;
+    first = false;
+  }
+  std::printf("  %s: ok (%zu points)\n", path.c_str(), rows);
+}
+
+void check_prometheus(const std::string& path) {
+  const auto text = read_file(path);
+  std::istringstream in(text);
+  std::string line;
+  std::size_t samples = 0, types = 0, lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const auto parts = split(line, ' ');
+      if (parts.size() != 4 ||
+          (parts[3] != "counter" && parts[3] != "gauge" && parts[3] != "histogram")) {
+        fail(path, "line " + std::to_string(lineno) + ": malformed # TYPE line");
+      }
+      ++types;
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments are legal
+    // Sample line: name[{labels}] value
+    const auto space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 || space + 1 == line.size()) {
+      fail(path, "line " + std::to_string(lineno) + ": expected \"name value\"");
+    }
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    if (name.find('{') != std::string::npos && name.back() != '}') {
+      fail(path, "line " + std::to_string(lineno) + ": unterminated label set");
+    }
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      std::size_t used = 0;
+      (void)std::stod(value, &used);
+      if (used != value.size()) {
+        fail(path, "line " + std::to_string(lineno) + ": bad sample value");
+      }
+    }
+    ++samples;
+  }
+  if (types == 0) fail(path, "no # TYPE lines (empty export?)");
+  std::printf("  %s: ok (%zu TYPE lines, %zu samples)\n", path.c_str(), types, samples);
+}
+
+void check_json_summary(const std::string& path) {
+  const auto text = read_file(path);
+  ones::JsonValue doc;
+  try {
+    doc = ones::parse_json(text);
+  } catch (const std::exception& e) {
+    fail(path, std::string("does not parse: ") + e.what());
+  }
+  if (doc.kind != ones::JsonValue::Kind::Object) fail(path, "top-level value must be an object");
+  std::printf("  %s: ok (%zu metrics)\n", path.c_str(), doc.object.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <trace.jsonl> <metrics_stem>\n", argv[0]);
+    return 2;
+  }
+  const std::string trace_path = argv[1];
+  const std::string stem = argv[2];
+
+  const ones::trace::TraceReplayer replayer;
+  const auto report = replayer.check_file(trace_path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "check_artifacts: %s: replay found %zu issue(s):\n%s",
+                 trace_path.c_str(), report.issues.size(), report.to_string().c_str());
+    return 1;
+  }
+  std::printf("  %s: ok (%zu records, %zu jobs)\n", trace_path.c_str(), report.records,
+              report.jobs);
+
+  check_timeline_csv(stem + ".timeline.csv");
+  check_prometheus(stem + ".prom");
+  check_json_summary(stem + ".metrics.json");
+  std::printf("check_artifacts: all artifacts pass\n");
+  return 0;
+}

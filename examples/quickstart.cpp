@@ -9,6 +9,10 @@
 // (quickstart_ones.jsonl / .trace.json and quickstart_fifo.jsonl /
 // .trace.json; the .trace.json files load in Perfetto or chrome://tracing).
 // tests/trace_test.cpp pins a golden digest of the ONES JSONL stream.
+//
+// Pass --metrics-dir=PATH to also export each run's metrics registry
+// (quickstart_ones.timeline.csv / .prom / .metrics.json and the same for
+// FIFO — DESIGN.md §9). Neither flag changes the simulated results.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,7 +22,9 @@
 #include "core/ones_scheduler.hpp"
 #include "sched/fifo.hpp"
 #include "sched/simulation.hpp"
+#include "telemetry/exporters.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
 #include "trace/sink.hpp"
 #include "workload/trace.hpp"
 
@@ -26,11 +32,15 @@ int main(int argc, char** argv) {
   using namespace ones;
 
   std::string trace_dir;
+  std::string metrics_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
       trace_dir = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--metrics-dir=", 14) == 0) {
+      metrics_dir = argv[i] + 14;
     } else {
-      std::fprintf(stderr, "usage: %s [--trace-dir=PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--trace-dir=PATH] [--metrics-dir=PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -60,9 +70,17 @@ int main(int argc, char** argv) {
     const auto writer = make_writer("quickstart_ones");
     auto traced_config = config;
     traced_config.trace_sink = writer.get();
+    telemetry::MetricsRegistry registry;
+    if (!metrics_dir.empty()) traced_config.metrics = &registry;
     core::OnesScheduler ones_sched;
     sched::ClusterSimulation sim(traced_config, trace, ones_sched);
     sim.run();
+    if (!metrics_dir.empty()) {
+      telemetry::write_metrics_files(registry, metrics_dir, "quickstart_ones");
+      // Host-scope (wall-clock) instruments are stderr-only by contract.
+      std::fprintf(stderr, "[host metrics] quickstart_ones\n%s",
+                   telemetry::format_host_metrics(registry).c_str());
+    }
     const auto s = telemetry::summarize("ONES", sim.metrics(), sim.topology().total_gpus());
     std::printf("%s\n", telemetry::format_summary_row(s).c_str());
     std::printf("  completed %zu/%d jobs, %llu schedule deployments, %llu evolution rounds\n",
@@ -74,15 +92,25 @@ int main(int argc, char** argv) {
     const auto writer = make_writer("quickstart_fifo");
     auto traced_config = config;
     traced_config.trace_sink = writer.get();
+    telemetry::MetricsRegistry registry;
+    if (!metrics_dir.empty()) traced_config.metrics = &registry;
     sched::FifoScheduler fifo;
     sched::ClusterSimulation sim(traced_config, trace, fifo);
     sim.run();
+    if (!metrics_dir.empty()) {
+      telemetry::write_metrics_files(registry, metrics_dir, "quickstart_fifo");
+      std::fprintf(stderr, "[host metrics] quickstart_fifo\n%s",
+                   telemetry::format_host_metrics(registry).c_str());
+    }
     const auto s = telemetry::summarize("FIFO", sim.metrics(), sim.topology().total_gpus());
     std::printf("%s\n", telemetry::format_summary_row(s).c_str());
     std::printf("  completed %zu/%d jobs\n", sim.completed_jobs(), trace_config.num_jobs);
   }
   if (!trace_dir.empty()) {
     std::printf("traces written to %s/\n", trace_dir.c_str());
+  }
+  if (!metrics_dir.empty()) {
+    std::printf("metrics written to %s/\n", metrics_dir.c_str());
   }
   return 0;
 }

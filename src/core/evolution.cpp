@@ -419,12 +419,16 @@ void Evolution::ensure_population(const EvolutionContext& ctx) {
 void Evolution::step(const EvolutionContext& ctx) {
   ensure_population(ctx);
   const std::size_t k = population_size(ctx);
+  std::uint64_t crossovers = 0, mutations = 0, reorders = 0;
 
   // Refresh the whole population against real-time status (elitism: the
   // refreshed originals compete with their offspring).
   for (auto& cand : population_) {
     refresh(cand, ctx);
-    if (config_.use_reorder) cand = reorder(cand);
+    if (config_.use_reorder) {
+      cand = reorder(cand);
+      ++reorders;
+    }
   }
 
   std::vector<cluster::Assignment> cands = population_;
@@ -448,6 +452,7 @@ void Evolution::step(const EvolutionContext& ctx) {
       std::size_t a = pick(), b = pick();
       if (a == b) b = (b + 1) % population_.size();
       auto [c1, c2] = crossover(population_[a], population_[b]);
+      ++crossovers;
       repair(c1, ctx);
       fill_idle(c1, ctx);
       repair(c2, ctx);
@@ -455,6 +460,7 @@ void Evolution::step(const EvolutionContext& ctx) {
       if (config_.use_reorder) {
         c1 = reorder(c1);
         c2 = reorder(c2);
+        reorders += 2;
       }
       cands.push_back(std::move(c1));
       cands.push_back(std::move(c2));
@@ -466,9 +472,13 @@ void Evolution::step(const EvolutionContext& ctx) {
       cluster::Assignment m = population_[static_cast<std::size_t>(
           rng_.uniform_int(0, static_cast<std::int64_t>(population_.size()) - 1))];
       mutate(m, ctx);
+      ++mutations;
       repair(m, ctx);
       fill_idle(m, ctx);
-      if (config_.use_reorder) m = reorder(m);
+      if (config_.use_reorder) {
+        m = reorder(m);
+        ++reorders;
+      }
       cands.push_back(std::move(m));
     }
   }
@@ -489,6 +499,15 @@ void Evolution::step(const EvolutionContext& ctx) {
     next.push_back(std::move(cands[order[i]]));
   }
   population_ = std::move(next);
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("ones_evolution_steps_total").add();
+    metrics_->counter("ones_crossovers_total").add(static_cast<double>(crossovers));
+    metrics_->counter("ones_mutations_total").add(static_cast<double>(mutations));
+    metrics_->counter("ones_reorders_total").add(static_cast<double>(reorders));
+    metrics_->gauge("ones_best_score").set(scores[order[0]]);
+    metrics_->gauge("ones_population_size").set(static_cast<double>(population_.size()));
+  }
 }
 
 cluster::Assignment Evolution::best(const EvolutionContext& ctx) {

@@ -27,6 +27,7 @@
 #include "predict/progress_predictor.hpp"
 #include "sched/oracle.hpp"
 #include "sched/scheduler.hpp"
+#include "telemetry/registry.hpp"
 
 namespace ones::core {
 
@@ -82,6 +83,13 @@ class Evolution {
   /// Drop the population (used when the cluster size changes).
   void reset() { population_.clear(); }
 
+  /// Optional metrics registry (not owned; null — the default — disables
+  /// instrumentation). `step` records the operator counters
+  /// (`ones_crossovers_total`, `ones_mutations_total`, `ones_reorders_total`,
+  /// `ones_evolution_steps_total`) and the population fitness gauges
+  /// (`ones_best_score`, `ones_population_size`). Never affects the search.
+  void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// One full evolution iteration: refresh -> operators -> select.
   void step(const EvolutionContext& ctx);
 
@@ -135,6 +143,7 @@ class Evolution {
   EvolutionConfig config_;
   Rng rng_;
   std::vector<cluster::Assignment> population_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace ones::core

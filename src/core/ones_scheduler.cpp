@@ -78,6 +78,10 @@ std::optional<cluster::Assignment> OnesScheduler::on_event(
     evolution_.step(ctx);
     ++rounds_;
   }
+  if (metrics_ != nullptr) {
+    metrics_->counter("ones_evolution_rounds_total")
+        .add(static_cast<double>(config_.evolution.rounds_per_event));
+  }
   if (trace_sink_ != nullptr && config_.evolution.rounds_per_event > 0) {
     trace_sink_->on_record({.kind = trace::RecordKind::EvolutionStep,
                             .t = state.now,

@@ -43,6 +43,14 @@ class OnesScheduler : public sched::Scheduler {
   std::optional<cluster::Assignment> on_event(const sched::ClusterState& state,
                                               const sched::SchedulerEvent& event) override;
 
+  /// Propagates the registry into the evolutionary search and the predictor
+  /// so their internal instruments share the run's registry.
+  void set_metrics(telemetry::MetricsRegistry* metrics) override {
+    sched::Scheduler::set_metrics(metrics);
+    evolution_.set_metrics(metrics);
+    predictor_.set_metrics(metrics);
+  }
+
   // ---- introspection (tests, examples, benches) ----
   const predict::ProgressPredictor& predictor() const { return predictor_; }
   const BatchLimitManager& limits() const { return limits_; }

@@ -113,13 +113,19 @@ void ScalingSession::on_broadcast_done() {
                       0.0;  // training was live until paused_at
   report_.total_s = report_.resumed_at - report_.started_at;
   log_event("scaling agents resume the user scripts");
+  if (metrics_ != nullptr) {
+    metrics_->counter("elastic_scalings_total").add();
+    metrics_->counter("elastic_blocked_seconds_total").add(report_.blocked_s);
+    metrics_->gauge("elastic_last_blocked_seconds").set(report_.blocked_s);
+  }
   on_done_(report_);
 }
 
 ScalingReport run_checkpoint_migration(sim::SimEngine& engine,
                                        const model::TaskProfile& profile,
                                        const CostConfig& costs,
-                                       const ScalingRequest& request) {
+                                       const ScalingRequest& request,
+                                       telemetry::MetricsRegistry* metrics) {
   ONES_EXPECT(!request.new_workers.empty());
   ScalingReport report;
   report.started_at = engine.now();
@@ -148,6 +154,11 @@ ScalingReport run_checkpoint_migration(sim::SimEngine& engine,
   report.resumed_at = t;
   report.blocked_s = t - report.started_at;
   report.total_s = report.blocked_s;
+  if (metrics != nullptr) {
+    metrics->counter("checkpoint_migrations_total").add();
+    metrics->counter("checkpoint_blocked_seconds_total").add(report.blocked_s);
+    metrics->gauge("checkpoint_last_blocked_seconds").set(report.blocked_s);
+  }
   return report;
 }
 

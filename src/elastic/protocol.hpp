@@ -25,6 +25,7 @@
 #include "elastic/cost_model.hpp"
 #include "model/task.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/registry.hpp"
 
 namespace ones::elastic {
 
@@ -83,6 +84,12 @@ class ScalingSession {
     phase_hook_ = std::move(hook);
   }
 
+  /// Optional metrics registry (not owned; null — the default — disables
+  /// instrumentation). On completion the session records
+  /// `elastic_scalings_total`, `elastic_blocked_seconds_total` and the
+  /// `elastic_last_blocked_seconds` gauge. Set before start().
+  void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   void log_event(const std::string& what);
   void on_new_workers_ready();
@@ -97,6 +104,7 @@ class ScalingSession {
   ScalingRequest request_;
   std::function<void(const ScalingReport&)> on_done_;
   std::function<void(double, const std::string&)> phase_hook_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
   ScalingReport report_;
   std::vector<GpuId> added_;
   std::vector<GpuId> kept_;
@@ -104,9 +112,12 @@ class ScalingSession {
 
 /// Simulates a checkpoint-based migration of the same request: stop, save to
 /// HDFS, reschedule, restart, reload. The whole session blocks training.
+/// A non-null `metrics` records `checkpoint_migrations_total`,
+/// `checkpoint_blocked_seconds_total` and `checkpoint_last_blocked_seconds`.
 ScalingReport run_checkpoint_migration(sim::SimEngine& engine,
                                        const model::TaskProfile& profile,
                                        const CostConfig& costs,
-                                       const ScalingRequest& request);
+                                       const ScalingRequest& request,
+                                       telemetry::MetricsRegistry* metrics = nullptr);
 
 }  // namespace ones::elastic

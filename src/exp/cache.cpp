@@ -38,6 +38,7 @@ std::optional<RunResult> ResultCache::load(const RunSpec& spec) const {
   } catch (const std::runtime_error& e) {
     ONES_LOG(Warn) << "discarding unreadable cache entry " << path_for(spec) << ": "
                    << e.what();
+    demotions_.fetch_add(1);
     misses_.fetch_add(1);
     return std::nullopt;
   }

@@ -41,6 +41,9 @@ class ResultCache {
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
   std::uint64_t stores() const { return stores_.load(); }
+  /// Entries that existed on disk but failed to parse (corrupt or written by
+  /// another schema version) and were demoted to misses.
+  std::uint64_t demotions() const { return demotions_.load(); }
 
  private:
   std::string path_for(const RunSpec& spec) const;
@@ -50,6 +53,7 @@ class ResultCache {
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> stores_{0};
+  mutable std::atomic<std::uint64_t> demotions_{0};
 };
 
 }  // namespace ones::exp

@@ -13,12 +13,13 @@ namespace {
 void print_usage(std::FILE* out, const char* prog) {
   std::fprintf(out,
                "usage: %s [--threads=N] [--seeds=K] [--no-cache] [--cache-dir=PATH]\n"
-               "          [--trace-dir=PATH] [--no-progress] [--help]\n"
+               "          [--trace-dir=PATH] [--metrics-dir=PATH] [--no-progress] [--help]\n"
                "  --threads=N     worker threads (default: hardware concurrency, %d)\n"
                "  --seeds=K       trace seeds per configuration (default: 1)\n"
                "  --no-cache      bypass the on-disk result cache\n"
                "  --cache-dir=P   cache directory (default: .ones-cache)\n"
                "  --trace-dir=P   write JSONL + Chrome traces per executed run\n"
+               "  --metrics-dir=P write timeline CSV + Prometheus + JSON metrics per executed run\n"
                "  --no-progress   silence the stderr progress/ETA reporter\n",
                prog, default_threads());
 }
@@ -61,6 +62,8 @@ BenchOptions parse_bench_cli(int argc, char** argv) {
       opt.grid.cache_dir = arg + 12;
     } else if (std::strncmp(arg, "--trace-dir=", 12) == 0) {
       opt.grid.trace_dir = arg + 12;
+    } else if (std::strncmp(arg, "--metrics-dir=", 14) == 0) {
+      opt.grid.metrics_dir = arg + 14;
     } else if (std::strcmp(arg, "--no-progress") == 0) {
       opt.grid.progress = false;
     } else {

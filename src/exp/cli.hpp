@@ -4,6 +4,7 @@
 //   --no-cache      bypass the on-disk result cache
 //   --cache-dir=P   cache directory (default: .ones-cache)
 //   --trace-dir=P   write a structured trace per executed run (off by default)
+//   --metrics-dir=P write metrics exports per executed run (off by default)
 //   --no-progress   silence the stderr progress reporter
 //   --help          print usage and exit
 //

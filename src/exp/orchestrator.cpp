@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <typeinfo>
 #include <unordered_map>
@@ -12,6 +13,7 @@
 #include "common/math_util.hpp"
 #include "exp/progress.hpp"
 #include "sched/simulation.hpp"
+#include "telemetry/exporters.hpp"
 #include "workload/trace.hpp"
 
 namespace ones::exp {
@@ -43,13 +45,15 @@ RunResult run_simulation(const sched::SimulationConfig& config,
   return r;
 }
 
-RunResult execute_run(const RunSpec& spec, trace::TraceSink* trace_sink) {
+RunResult execute_run(const RunSpec& spec, trace::TraceSink* trace_sink,
+                      telemetry::MetricsRegistry* metrics) {
   ONES_EXPECT_MSG(static_cast<bool>(spec.factory), "RunSpec has no scheduler factory");
   const auto trace = workload::generate_trace(spec.trace);
   const auto scheduler = spec.factory();
   ONES_EXPECT_MSG(scheduler != nullptr, "scheduler factory returned null");
   sched::SimulationConfig config = spec.sim;
   config.trace_sink = trace_sink;
+  config.metrics = metrics;
   return run_simulation(config, trace, *scheduler);
 }
 
@@ -108,13 +112,19 @@ std::vector<RunResult> run_grid(const std::vector<RunSpec>& specs,
         const std::size_t i = pending[slot];
         try {
           const auto t0 = std::chrono::steady_clock::now();
-          if (options.trace_dir.empty()) {
-            results[i] = execute_run(specs[i]);
-          } else {
-            trace::RunTraceWriter writer(options.trace_dir, cache_key(specs[i]));
-            results[i] = execute_run(specs[i], &writer);
-            writer.close();
+          std::optional<trace::RunTraceWriter> writer;
+          if (!options.trace_dir.empty()) {
+            writer.emplace(options.trace_dir, cache_key(specs[i]));
           }
+          if (options.metrics_dir.empty()) {
+            results[i] = execute_run(specs[i], writer ? &*writer : nullptr);
+          } else {
+            telemetry::MetricsRegistry registry;
+            results[i] = execute_run(specs[i], writer ? &*writer : nullptr, &registry);
+            telemetry::write_metrics_files(registry, options.metrics_dir,
+                                           cache_key(specs[i]));
+          }
+          if (writer) writer->close();
           const double wall_s =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                   .count();
@@ -140,6 +150,15 @@ std::vector<RunResult> run_grid(const std::vector<RunSpec>& specs,
       for (auto& t : threads) t.join();
     }
     if (first_error) std::rethrow_exception(first_error);
+  }
+
+  if (options.registry != nullptr) {
+    auto& reg = *options.registry;
+    reg.counter("exp_cache_hits_total").add(static_cast<double>(cache.hits()));
+    reg.counter("exp_cache_misses_total").add(static_cast<double>(cache.misses()));
+    reg.counter("exp_cache_demotions_total").add(static_cast<double>(cache.demotions()));
+    reg.counter("exp_cache_stores_total").add(static_cast<double>(cache.stores()));
+    reg.counter("exp_runs_executed_total").add(static_cast<double>(pending.size()));
   }
 
   progress.finish(static_cast<std::size_t>(cache.hits()));

@@ -20,6 +20,7 @@
 #include "exp/cache.hpp"
 #include "exp/result.hpp"
 #include "exp/run_spec.hpp"
+#include "telemetry/registry.hpp"
 #include "trace/sink.hpp"
 
 namespace ones::exp {
@@ -37,13 +38,26 @@ struct GridOptions {
   /// Cache-served runs are not re-simulated, so they emit nothing. Tracing
   /// never affects results, and is therefore not part of the cache key.
   std::string trace_dir;
+  /// When non-empty, every EXECUTED run owns a MetricsRegistry and exports
+  /// `<cache_key>.timeline.csv` + `.prom` + `.metrics.json` into this
+  /// directory (DESIGN.md §9). Exactly the tracing contract: cache-served
+  /// runs emit nothing, metrics never affect results, and the directory is
+  /// not part of the cache key.
+  std::string metrics_dir;
+  /// Optional bench-level registry (not owned). After the grid completes,
+  /// run_grid records the orchestrator cache statistics into it:
+  /// `exp_cache_{hits,misses,demotions,stores}_total` and
+  /// `exp_runs_executed_total`.
+  telemetry::MetricsRegistry* registry = nullptr;
 };
 
 /// Execute one simulation: build the scheduler from the spec's factory,
 /// generate the trace, run, and collect metrics. (Also the body of each
 /// orchestrator worker; exposed for benches that run a single config.)
-/// `trace_sink`, when non-null, receives the run's structured trace.
-RunResult execute_run(const RunSpec& spec, trace::TraceSink* trace_sink = nullptr);
+/// `trace_sink`, when non-null, receives the run's structured trace;
+/// `metrics`, when non-null, receives the run's instrument emissions.
+RunResult execute_run(const RunSpec& spec, trace::TraceSink* trace_sink = nullptr,
+                      telemetry::MetricsRegistry* metrics = nullptr);
 
 /// Collect metrics from an already-constructed simulation setup (the legacy
 /// single-run path used by light benches and examples).

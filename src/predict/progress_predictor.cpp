@@ -76,6 +76,16 @@ void ProgressPredictor::observe_completed_job(const sched::JobView& job) {
         std::clamp(e.samples_processed / total_samples, 1e-4, 1.0 - 1e-4);
     p.true_epochs_remaining =
         std::max(total_epochs - static_cast<double>(i + 1), 0.5);
+    if (metrics_ != nullptr) {
+      // Score the *current* model on this fresh ground truth before it is
+      // ingested: the Beta's beta parameter is the predicted epochs remaining.
+      const double predicted = predict(past).beta();
+      auto& err_sum = metrics_->counter("predict_abs_error_epochs_total");
+      auto& err_n = metrics_->counter("predict_error_samples_total");
+      err_sum.add(std::abs(predicted - p.true_epochs_remaining));
+      err_n.add();
+      metrics_->gauge("predict_mae_epochs").set(err_sum.value() / err_n.value());
+    }
     add_point(std::move(p));
   }
 
@@ -114,6 +124,7 @@ void ProgressPredictor::fit() {
     for (std::size_t f = 0; f < kFeatureDim; ++f) weights_[f] += scale * grad[f];
   }
   trained_ = true;
+  if (metrics_ != nullptr) metrics_->counter("predict_refits_total").add();
 }
 
 stats::BetaDistribution ProgressPredictor::predict(const sched::JobView& job) const {

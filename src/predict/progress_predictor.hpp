@@ -26,6 +26,7 @@
 #include "common/rng.hpp"
 #include "sched/scheduler.hpp"
 #include "stats/beta.hpp"
+#include "telemetry/registry.hpp"
 
 namespace ones::predict {
 
@@ -77,6 +78,13 @@ class ProgressPredictor {
   /// public for tests).
   void fit();
 
+  /// Optional metrics registry (not owned; null — the default — disables
+  /// instrumentation). Records `predict_refits_total` and the online
+  /// `predict_mae_epochs` gauge: before each refit, the *current* model is
+  /// scored against the fresh ground-truth points it is about to ingest,
+  /// so the gauge tracks true out-of-sample error. Never affects predictions.
+  void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   void add_point(TrainingPoint point);
 
@@ -88,6 +96,7 @@ class ProgressPredictor {
   double mean_total_epochs_ = 0.0;
   std::size_t completed_jobs_ = 0;
   Rng rng_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace ones::predict

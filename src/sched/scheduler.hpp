@@ -18,6 +18,10 @@
 #include "trace/sink.hpp"
 #include "workload/trace.hpp"
 
+namespace ones::telemetry {
+class MetricsRegistry;
+}
+
 namespace ones::sched {
 
 enum class JobStatus { Waiting, Running, Completed };
@@ -117,9 +121,18 @@ class Scheduler {
   /// from its own config on construction; the sink is not owned.
   void set_trace_sink(trace::TraceSink* sink) { trace_sink_ = sink; }
 
+  /// Install (or clear) the metrics registry for policy-internal instruments
+  /// (ONES's evolution counters, the predictor's error gauge). Virtual so
+  /// composite schedulers can propagate the pointer to their sub-components;
+  /// the registry is not owned. Same contract as the trace sink: null by
+  /// default, every emission site null-guarded, never affects decisions.
+  virtual void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  protected:
   /// Null by default: emission sites must check before building a record.
   trace::TraceSink* trace_sink_ = nullptr;
+  /// Null by default: emission sites must check before recording.
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace ones::sched

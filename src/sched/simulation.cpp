@@ -1,12 +1,23 @@
 #include "sched/simulation.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/expect.hpp"
 #include "common/log.hpp"
 #include "model/throughput.hpp"
 
 namespace ones::sched {
+
+namespace {
+
+/// Bucket bounds (seconds) for the per-decision scheduler host-time
+/// histogram. Host scope: wall-clock, surfaced on stderr only, never in a
+/// file export — the ScopedTimer convention.
+const std::vector<double> kDecisionHostBounds = {1e-6, 1e-5, 1e-4, 1e-3,
+                                                 1e-2, 1e-1, 1.0};
+
+}  // namespace
 
 const char* status_name(JobStatus status) {
   switch (status) {
@@ -93,11 +104,18 @@ ClusterSimulation::ClusterSimulation(const SimulationConfig& config,
     engine_.set_fire_hook(
         [this](double /*now*/, std::uint64_t seq) { trace_stamper_->set_seq(seq); });
   }
+  if (config.metrics != nullptr) {
+    registry_ = config.metrics;
+    scheduler_.set_metrics(registry_);
+    queue_series_ = registry_->timeline().series("queue_depth");
+    busy_series_ = registry_->timeline().series("busy_gpus");
+  }
 }
 
 ClusterSimulation::~ClusterSimulation() {
   // The stamper dies with this object; never leave the scheduler pointing at it.
   if (sink_ != nullptr) scheduler_.set_trace_sink(nullptr);
+  if (registry_ != nullptr) scheduler_.set_metrics(nullptr);
 }
 
 ClusterSimulation::JobRuntime& ClusterSimulation::runtime(JobId job) {
@@ -141,6 +159,11 @@ void ClusterSimulation::run() {
                       .detail = scheduler_.name()});
   }
   engine_.run_until(config_.max_sim_time_s);
+  if (registry_ != nullptr) {
+    sample_cluster_metrics();
+    registry_->timeline().advance(engine_.now());
+    registry_->gauge("sim_events_fired").set(static_cast<double>(engine_.fired()));
+  }
   if (!all_completed()) {
     ONES_LOG(Warn) << "simulation ended with " << (trace_.size() - completed_count_)
                    << " unfinished job(s) — scheduler '" << scheduler_.name()
@@ -167,6 +190,34 @@ double ClusterSimulation::actual_tput(JobId job, const cluster::Assignment& assi
 
 void ClusterSimulation::update_busy() {
   metrics_.on_busy_gpus(topology_.total_gpus() - current_.idle_count(), engine_.now());
+  sample_cluster_metrics();
+}
+
+void ClusterSimulation::sample_cluster_metrics() {
+  if (registry_ == nullptr) return;
+  const double now = engine_.now();
+  double waiting = 0.0;
+  for (JobId id : arrived_order_) {
+    if (runtimes_.at(id).view.status == JobStatus::Waiting) waiting += 1.0;
+  }
+  const double busy = static_cast<double>(topology_.total_gpus() - current_.idle_count());
+  registry_->gauge("sim_queue_depth").set(waiting);
+  registry_->gauge("sim_busy_gpus").set(busy);
+  registry_->gauge("sim_pending_events").set(static_cast<double>(engine_.pending()));
+  registry_->timeline().record(queue_series_, now, waiting);
+  registry_->timeline().record(busy_series_, now, busy);
+}
+
+void ClusterSimulation::record_batch_point(JobId job) {
+  if (registry_ == nullptr) return;
+  auto it = batch_series_.find(job);
+  if (it == batch_series_.end()) {
+    const auto id =
+        registry_->timeline().series("job" + std::to_string(job) + ".batch");
+    it = batch_series_.emplace(job, id).first;
+  }
+  registry_->timeline().record(it->second, engine_.now(),
+                               static_cast<double>(runtime(job).view.global_batch));
 }
 
 void ClusterSimulation::accrue(JobId job, double now) {
@@ -195,6 +246,10 @@ void ClusterSimulation::on_arrival(JobId job) {
       rt.view.spec.dynamics_seed);
   arrived_order_.push_back(job);
   metrics_.on_submit(job, engine_.now());
+  if (registry_ != nullptr) {
+    registry_->counter("sim_jobs_submitted_total").add();
+    sample_cluster_metrics();
+  }
   if (sink_ != nullptr) {
     sink_->on_record({.kind = trace::RecordKind::JobSubmitted,
                       .t = engine_.now(),
@@ -235,6 +290,11 @@ void ClusterSimulation::on_kill_event(JobId job) {
   rt.tput_sps = 0.0;
   metrics_.on_abort(job, now);
   ++completed_count_;
+  if (registry_ != nullptr) {
+    registry_->counter("sim_jobs_aborted_total").add();
+    record_batch_point(job);
+    sample_cluster_metrics();
+  }
   if (sink_ != nullptr) {
     sink_->on_record({.kind = trace::RecordKind::JobCompleted,
                       .t = now,
@@ -290,7 +350,22 @@ void ClusterSimulation::notify(EventKind kind, JobId job) {
   }
   in_notify_ = true;
   const ClusterState state = make_state();
+  // Wall-clock is allowed here ONLY because the decision histogram is
+  // Host-scope: stderr diagnostics, never exported to a file or fed back
+  // into any simulated quantity.
+  std::chrono::steady_clock::time_point host_begin;
+  if (registry_ != nullptr) host_begin = std::chrono::steady_clock::now();
   std::optional<cluster::Assignment> next = scheduler_.on_event(state, {kind, job});
+  if (registry_ != nullptr) {
+    const std::chrono::duration<double> host_s =
+        std::chrono::steady_clock::now() - host_begin;
+    registry_
+        ->histogram("sched_decision_host_seconds", kDecisionHostBounds,
+                    telemetry::MetricScope::Host)
+        .observe(host_s.count());
+    registry_->counter("sched_events_total").add();
+    if (next.has_value()) registry_->counter("sched_decisions_total").add();
+  }
   in_notify_ = false;
   if (next.has_value()) {
     apply(std::move(*next));
@@ -319,6 +394,7 @@ void ClusterSimulation::apply(cluster::Assignment next) {
   validate(next);
   const double now = engine_.now();
   ++deployments_;
+  if (registry_ != nullptr) registry_->counter("sim_deployments_total").add();
 
   // Account all in-flight progress before changing anything.
   for (JobId j : current_.running_jobs()) accrue(j, now);
@@ -355,6 +431,11 @@ void ClusterSimulation::apply(cluster::Assignment next) {
     if (rt.epoch_event != 0) {
       engine_.cancel(rt.epoch_event);
       rt.epoch_event = 0;
+    }
+    if (registry_ != nullptr) {
+      registry_->counter("sim_reconfigurations_total").add();
+      registry_->counter("sim_reconfig_overhead_seconds_total").add(cost);
+      record_batch_point(j);
     }
     if (sink_ != nullptr) {
       sink_->on_record({.kind = trace::RecordKind::ElasticPaused,
@@ -436,6 +517,10 @@ void ClusterSimulation::start_job(JobId job, const cluster::Assignment& next, do
   rt.view.throughput_sps = rt.tput_sps;
   rt.produce_start = now + cost;
   rt.last_accrue = rt.produce_start;
+  if (registry_ != nullptr) {
+    registry_->counter("sim_restart_overhead_seconds_total").add(cost);
+    record_batch_point(job);
+  }
   if (sink_ != nullptr) {
     if (first_run) {
       sink_->on_record({.kind = trace::RecordKind::JobAdmitted,
@@ -488,6 +573,10 @@ void ClusterSimulation::stop_job(JobId job, double now) {
   rt.tput_sps = 0.0;
   rt.view.throughput_sps = 0.0;
   metrics_.on_run_end(job, now, /*preempted=*/true);
+  if (registry_ != nullptr) {
+    registry_->counter("sim_preemptions_total").add();
+    record_batch_point(job);
+  }
 }
 
 void ClusterSimulation::complete_job(JobId job, double now) {
@@ -513,6 +602,10 @@ void ClusterSimulation::complete_job(JobId job, double now) {
   current_.evict(job);
   update_busy();
   ++completed_count_;
+  if (registry_ != nullptr) {
+    registry_->counter("sim_jobs_completed_total").add();
+    record_batch_point(job);
+  }
   if (sink_ != nullptr) {
     sink_->on_record(
         {.kind = trace::RecordKind::JobCompleted, .t = now, .job = job, .detail = ""});

@@ -26,6 +26,7 @@
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
 #include "workload/trace.hpp"
 
 namespace ones::sched {
@@ -43,6 +44,11 @@ struct SimulationConfig {
   /// costs one branch per emission site). Deliberately NOT part of the
   /// orchestrator cache key: tracing must never change results.
   trace::TraceSink* trace_sink = nullptr;
+  /// Sim-time metrics registry (not owned; null — the default — disables all
+  /// instrumentation and costs one branch per emission site). Same contract
+  /// as the trace sink: deliberately NOT part of the orchestrator cache key,
+  /// and attaching a registry must never change results (DESIGN.md §9).
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 class ClusterSimulation {
@@ -99,6 +105,9 @@ class ClusterSimulation {
   void schedule_epoch_event(JobId job);
   double actual_tput(JobId job, const cluster::Assignment& assignment) const;
   void update_busy();
+  /// Metrics emission helpers; no-ops when no registry is attached.
+  void sample_cluster_metrics();
+  void record_batch_point(JobId job);
 
   JobRuntime& runtime(JobId job);
   const JobRuntime& runtime(JobId job) const;
@@ -126,6 +135,13 @@ class ClusterSimulation {
   /// when tracing is on and stays null otherwise.
   std::optional<trace::SeqStampedSink> trace_stamper_;
   trace::TraceSink* sink_ = nullptr;
+
+  /// Null unless a registry is attached via SimulationConfig::metrics; every
+  /// emission below checks it, so disabled metrics cost one branch.
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::TimelineSampler::SeriesId queue_series_ = 0;
+  telemetry::TimelineSampler::SeriesId busy_series_ = 0;
+  std::unordered_map<JobId, telemetry::TimelineSampler::SeriesId> batch_series_;
 };
 
 }  // namespace ones::sched

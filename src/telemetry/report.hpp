@@ -13,6 +13,17 @@ namespace ones::telemetry {
 
 /// Write one row per finished job:
 /// job_id,arrival_s,completion_s,jct_s,exec_s,queue_s,preemptions,aborted
+///
+/// "Finished" means the job reached a terminal state, normal or not:
+///  * Aborted jobs (on_abort) DO get a row — aborted=1, completion_s is the
+///    abort time, and jct/exec/queue are measured up to that point. They are
+///    deliberately excluded from the Summary's jct/exec/queue aggregates
+///    (an abort is not a completion), so the CSV is the only place their
+///    numbers surface; plotting scripts must filter on the aborted column.
+///  * Jobs submitted but never finished (still waiting or running when the
+///    simulation horizon ends) have completion_s < 0 and emit NO row: their
+///    partial times would be horizon artifacts, not job outcomes. The gap
+///    between submitted ids and CSV rows is the signal that a run truncated.
 void write_jobs_csv(std::ostream& os, const MetricsCollector& metrics);
 
 /// Write an empirical CDF of `values` as "value,cum_fraction" rows.

@@ -14,6 +14,7 @@
 #include "exp/orchestrator.hpp"
 #include "sched/fifo.hpp"
 #include "sched/tiresias.hpp"
+#include "telemetry/registry.hpp"
 #include "trace/replay.hpp"
 
 namespace ones::exp {
@@ -390,6 +391,122 @@ TEST(ExpTracing, TracingDoesNotChangeResults) {
   for (std::size_t i = 0; i < plain.size(); ++i) {
     expect_identical(plain[i], traced[i]);
   }
+}
+
+// The metrics registry follows the tracing contract (DESIGN.md §9): it may
+// observe a run, never steer it. The next three tests mirror the ExpTracing
+// suite above, instrument for instrument.
+TEST(ExpMetrics, MetricsDoNotChangeResults) {
+  TempCacheDir metrics_dir("ones_exp_metrics_results");
+  const auto specs = tiny_grid();
+  const auto plain = run_grid(specs, quiet_options(2));
+  auto opt = quiet_options(2);
+  opt.metrics_dir = metrics_dir.path();
+  const auto instrumented = run_grid(specs, opt);
+  ASSERT_EQ(plain.size(), instrumented.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    expect_identical(plain[i], instrumented[i]);
+  }
+  // Each executed run exported its three files.
+  for (const auto& spec : specs) {
+    const fs::path base = fs::path(metrics_dir.path()) / cache_key(spec);
+    EXPECT_TRUE(fs::exists(base.string() + ".timeline.csv")) << base;
+    EXPECT_TRUE(fs::exists(base.string() + ".prom")) << base;
+    EXPECT_TRUE(fs::exists(base.string() + ".metrics.json")) << base;
+  }
+}
+
+TEST(ExpMetrics, MetricsBytesIdenticalForAnyThreadCount) {
+  const auto specs = tiny_grid();
+  TempCacheDir dir_serial("ones_exp_metrics_serial");
+  TempCacheDir dir_parallel("ones_exp_metrics_parallel");
+
+  auto serial_opt = quiet_options(1);
+  serial_opt.metrics_dir = dir_serial.path();
+  auto parallel_opt = quiet_options(4);
+  parallel_opt.metrics_dir = dir_parallel.path();
+  run_grid(specs, serial_opt);
+  run_grid(specs, parallel_opt);
+
+  for (const auto& spec : specs) {
+    const std::string stem = cache_key(spec);
+    for (const char* ext : {".timeline.csv", ".prom", ".metrics.json"}) {
+      const std::string serial_bytes =
+          read_file(fs::path(dir_serial.path()) / (stem + ext));
+      ASSERT_FALSE(serial_bytes.empty()) << stem << ext;
+      EXPECT_EQ(serial_bytes, read_file(fs::path(dir_parallel.path()) / (stem + ext)))
+          << stem << ext;
+    }
+  }
+  // No stray files: three exports per spec, no leftover tmps.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir_serial.path())) {
+    ++files;
+    EXPECT_TRUE(e.path().extension() == ".csv" || e.path().extension() == ".prom" ||
+                e.path().extension() == ".json")
+        << e.path();
+  }
+  EXPECT_EQ(files, 3 * specs.size());
+}
+
+TEST(ExpMetrics, CacheServedRunsEmitNoMetrics) {
+  TempCacheDir cache_dir("ones_exp_metrics_cache");
+  TempCacheDir metrics_dir("ones_exp_metrics_cached_out");
+  const std::vector<RunSpec> specs = {tiny_spec()};
+
+  run_grid(specs, quiet_options(1, true, cache_dir.path()));
+
+  // Warm pass: every run is cache-served, so no registry ever exists and no
+  // file may appear (metrics of a run that never re-executed would be a lie).
+  auto opt = quiet_options(1, true, cache_dir.path());
+  opt.metrics_dir = metrics_dir.path();
+  const auto warm = run_grid(specs, opt);
+  ASSERT_TRUE(warm[0].from_cache);
+  EXPECT_TRUE(!fs::exists(metrics_dir.path()) || fs::is_empty(metrics_dir.path()));
+
+  auto no_cache = quiet_options(1, false, cache_dir.path());
+  no_cache.metrics_dir = metrics_dir.path();
+  run_grid(specs, no_cache);
+  EXPECT_TRUE(fs::exists(fs::path(metrics_dir.path()) /
+                         (cache_key(specs[0]) + ".metrics.json")));
+}
+
+TEST(ExpMetrics, GridPublishesCacheStatsIntoRegistry) {
+  TempCacheDir cache_dir("ones_exp_metrics_stats");
+  const auto specs = tiny_grid();
+
+  telemetry::MetricsRegistry cold_registry;
+  auto cold_opt = quiet_options(2, true, cache_dir.path());
+  cold_opt.registry = &cold_registry;
+  run_grid(specs, cold_opt);
+  EXPECT_DOUBLE_EQ(cold_registry.counter_value("exp_cache_hits_total"), 0.0);
+  EXPECT_DOUBLE_EQ(cold_registry.counter_value("exp_cache_misses_total"),
+                   static_cast<double>(specs.size()));
+  EXPECT_DOUBLE_EQ(cold_registry.counter_value("exp_cache_stores_total"),
+                   static_cast<double>(specs.size()));
+  EXPECT_DOUBLE_EQ(cold_registry.counter_value("exp_runs_executed_total"),
+                   static_cast<double>(specs.size()));
+
+  telemetry::MetricsRegistry warm_registry;
+  auto warm_opt = quiet_options(2, true, cache_dir.path());
+  warm_opt.registry = &warm_registry;
+  run_grid(specs, warm_opt);
+  EXPECT_DOUBLE_EQ(warm_registry.counter_value("exp_cache_hits_total"),
+                   static_cast<double>(specs.size()));
+  EXPECT_DOUBLE_EQ(warm_registry.counter_value("exp_cache_misses_total"), 0.0);
+  EXPECT_DOUBLE_EQ(warm_registry.counter_value("exp_runs_executed_total"), 0.0);
+}
+
+TEST(ExpCache, DemotedCorruptEntryIsCounted) {
+  TempCacheDir dir("ones_exp_demote_test");
+  ResultCache cache(dir.path());
+  const auto spec = tiny_spec();
+  fs::create_directories(dir.path());
+  std::ofstream(fs::path(dir.path()) / (cache_key(spec) + ".json")) << "{not json";
+  EXPECT_FALSE(cache.load(spec).has_value());
+  EXPECT_EQ(cache.demotions(), 1u);  // corrupt entry demoted to a miss...
+  EXPECT_EQ(cache.misses(), 1u);     // ...and counted as one
+  EXPECT_EQ(cache.hits(), 0u);
 }
 
 TEST(ExpOrchestrator, VariantAliasingIsRejected) {

@@ -37,6 +37,43 @@ TEST(ReportCsv, JobsCsvHasHeaderAndFinishedRows) {
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
 }
 
+TEST(ReportCsv, AbortedJobsMeasureUpToTheAbort) {
+  // An aborted job gets a CSV row (aborted=1) with jct/exec/queue measured
+  // through the abort time — but the Summary aggregates must exclude it
+  // (report.hpp documents this split; the CSV is where abort numbers live).
+  telemetry::MetricsCollector m;
+  m.on_submit(5, 0.0);
+  m.on_run_start(5, 2.0);
+  m.on_run_end(5, 8.0, true);  // preempted once
+  m.on_run_start(5, 10.0);
+  m.on_run_end(5, 14.0, false);
+  m.on_abort(5, 14.0);  // killed right after its second run interval
+
+  std::ostringstream os;
+  telemetry::write_jobs_csv(os, m);
+  // arrival 0, completion 14, jct 14, exec 6+4=10, queue 4, 1 preemption.
+  EXPECT_NE(os.str().find("5,0,14,14,10,4,1,1"), std::string::npos);
+  EXPECT_TRUE(m.jcts().empty());  // aborted jobs never enter the aggregates
+  EXPECT_EQ(m.aborted(), 1u);
+}
+
+TEST(ReportCsv, UnfinishedJobsEmitNoRows) {
+  // Jobs cut off by the simulation horizon — never started, or started but
+  // never terminal — must not appear: their partial times would be horizon
+  // artifacts, not outcomes (see the write_jobs_csv contract in report.hpp).
+  telemetry::MetricsCollector m;
+  m.on_submit(1, 0.0);   // never scheduled at all
+  m.on_submit(2, 5.0);   // ran for a while, preempted, then the run ended
+  m.on_run_start(2, 6.0);
+  m.on_run_end(2, 9.0, true);
+
+  std::ostringstream os;
+  telemetry::write_jobs_csv(os, m);
+  const std::string csv = os.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);  // header only
+  EXPECT_EQ(m.submitted(), 2u);  // submitted-vs-rows gap flags the truncation
+}
+
 TEST(ReportCsv, EcdfCsvIsSortedAndEndsAtOne) {
   std::ostringstream os;
   telemetry::write_ecdf_csv(os, {3.0, 1.0, 2.0}, "jct_s");
