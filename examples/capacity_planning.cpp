@@ -35,8 +35,7 @@ int main(int argc, char** argv) {
     core::OnesScheduler scheduler;
     sched::ClusterSimulation sim(config, trace, scheduler);
     sim.run();
-    const auto s =
-        telemetry::summarize("ONES", sim.metrics(), sim.topology().total_gpus());
+    const auto s = sim.summary("ONES");
     std::printf("%6d %10.1f %10.1f %10.1f %8.1f %7.1f%%\n", nodes * 4, s.avg_jct,
                 s.avg_exec, s.avg_queue, s.p90_jct, 100.0 * s.utilization);
     if (chosen < 0 && sim.all_completed() && s.avg_jct <= slo) {

@@ -55,7 +55,8 @@ void check_timeline_csv(const std::string& path) {
   }
   double prev_t = 0.0;
   bool first = true;
-  std::size_t rows = 0;
+  std::size_t rows = 0, watts_rows = 0;
+  bool watts_starts_at_zero = false;
   while (std::getline(in, line)) {
     ++rows;
     const auto parts = split(line, ',');
@@ -67,12 +68,24 @@ void check_timeline_csv(const std::string& path) {
       fail(path, "row " + std::to_string(rows) + ": timestamps must be non-decreasing");
     }
     if (parts[1].empty()) fail(path, "row " + std::to_string(rows) + ": empty series name");
-    (void)std::stod(parts[2], &used);
+    const double value = std::stod(parts[2], &used);
     if (used != parts[2].size()) fail(path, "row " + std::to_string(rows) + ": bad value");
+    if (parts[1] == "cluster_watts") {
+      // DESIGN.md §10: the power timeline starts at t=0 (the meter opens the
+      // run on an all-idle cluster) and node base power keeps it positive.
+      if (watts_rows == 0 && t == 0.0) watts_starts_at_zero = true;
+      if (value <= 0.0) {
+        fail(path, "row " + std::to_string(rows) + ": cluster_watts must be positive");
+      }
+      ++watts_rows;
+    }
     prev_t = t;
     first = false;
   }
-  std::printf("  %s: ok (%zu points)\n", path.c_str(), rows);
+  if (watts_rows == 0) fail(path, "no cluster_watts series (energy meter not exported?)");
+  if (!watts_starts_at_zero) fail(path, "cluster_watts series must start at t=0");
+  std::printf("  %s: ok (%zu points, %zu cluster_watts)\n", path.c_str(), rows,
+              watts_rows);
 }
 
 void check_prometheus(const std::string& path) {
@@ -116,6 +129,27 @@ void check_prometheus(const std::string& path) {
   std::printf("  %s: ok (%zu TYPE lines, %zu samples)\n", path.c_str(), types, samples);
 }
 
+/// Look up `name` in the metrics object; it must be an instrument object of
+/// `kind` with a numeric, non-negative value. Returns that value.
+double require_instrument(const std::string& path, const ones::JsonValue& doc,
+                          const std::string& name, const std::string& kind) {
+  const ones::JsonValue* entry = doc.find(name);
+  if (entry == nullptr) fail(path, "missing required metric \"" + name + "\"");
+  if (entry->kind != ones::JsonValue::Kind::Object) {
+    fail(path, "metric \"" + name + "\" must be an object");
+  }
+  const ones::JsonValue* type = entry->find("type");
+  if (type == nullptr || type->string != kind) {
+    fail(path, "metric \"" + name + "\" must have type \"" + kind + "\"");
+  }
+  const ones::JsonValue* value = entry->find("value");
+  if (value == nullptr || value->kind != ones::JsonValue::Kind::Number ||
+      value->number < 0.0) {
+    fail(path, "metric \"" + name + "\" must have a non-negative numeric value");
+  }
+  return value->number;
+}
+
 void check_json_summary(const std::string& path) {
   const auto text = read_file(path);
   ones::JsonValue doc;
@@ -125,7 +159,22 @@ void check_json_summary(const std::string& path) {
     fail(path, std::string("does not parse: ") + e.what());
   }
   if (doc.kind != ones::JsonValue::Kind::Object) fail(path, "top-level value must be an object");
-  std::printf("  %s: ok (%zu metrics)\n", path.c_str(), doc.object.size());
+
+  // Energy fields (DESIGN.md §10): every instrumented run carries the meter's
+  // counters/gauge, and attribution means overhead can never exceed total.
+  const double cluster = require_instrument(path, doc, "energy_cluster_joules_total", "counter");
+  const double overhead =
+      require_instrument(path, doc, "energy_overhead_joules_total", "counter");
+  require_instrument(path, doc, "energy_cluster_watts", "gauge");
+  if (overhead > cluster) {
+    fail(path, "energy_overhead_joules_total exceeds energy_cluster_joules_total");
+  }
+  // Fragmentation gauges ride the same export (DESIGN.md §10).
+  require_instrument(path, doc, "cluster_frag_idle_gpus", "gauge");
+  require_instrument(path, doc, "cluster_frag_scatter_index", "gauge");
+
+  std::printf("  %s: ok (%zu metrics, %.0f J total / %.0f J overhead)\n", path.c_str(),
+              doc.object.size(), cluster, overhead);
 }
 
 }  // namespace

@@ -35,8 +35,7 @@ int main(int argc, char** argv) {
   auto run_and_export = [&](sched::Scheduler& s, const std::string& tag) {
     sched::ClusterSimulation sim(config, trace, s);
     sim.run();
-    summaries.push_back(
-        telemetry::summarize(s.name(), sim.metrics(), sim.topology().total_gpus()));
+    summaries.push_back(sim.summary(s.name()));
 
     std::ostringstream jobs_csv;
     telemetry::write_jobs_csv(jobs_csv, sim.metrics());

@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "[host metrics] quickstart_ones\n%s",
                    telemetry::format_host_metrics(registry).c_str());
     }
-    const auto s = telemetry::summarize("ONES", sim.metrics(), sim.topology().total_gpus());
+    const auto s = sim.summary("ONES");
     std::printf("%s\n", telemetry::format_summary_row(s).c_str());
     std::printf("  completed %zu/%d jobs, %llu schedule deployments, %llu evolution rounds\n",
                 sim.completed_jobs(), trace_config.num_jobs,
@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "[host metrics] quickstart_fifo\n%s",
                    telemetry::format_host_metrics(registry).c_str());
     }
-    const auto s = telemetry::summarize("FIFO", sim.metrics(), sim.topology().total_gpus());
+    const auto s = sim.summary("FIFO");
     std::printf("%s\n", telemetry::format_summary_row(s).c_str());
     std::printf("  completed %zu/%d jobs\n", sim.completed_jobs(), trace_config.num_jobs);
   }

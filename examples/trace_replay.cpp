@@ -85,8 +85,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n%s\n", telemetry::format_summary_header().c_str());
-  const auto summary =
-      telemetry::summarize(scheduler->name(), sim.metrics(), sim.topology().total_gpus());
+  const auto summary = sim.summary(scheduler->name());
   std::printf("%s\n", telemetry::format_summary_row(summary).c_str());
   std::printf("completed %zu/%d jobs, %llu schedule deployments\n", sim.completed_jobs(),
               tc.num_jobs, static_cast<unsigned long long>(sim.deployments()));

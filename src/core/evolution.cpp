@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/expect.hpp"
+#include "energy/power_model.hpp"
 
 namespace ones::core {
 
@@ -98,12 +99,27 @@ double Evolution::score(const cluster::Assignment& candidate, const EvolutionCon
   // Eq. 8: sum_j  Y_processed_j * c_j / X_j * (1/rho_j - 1)
   //       = sum_j  Y_remaining_j * c_j / X_j  =  sum_j  T_j * c_j  (SRUF).
   double total = 0.0;
+  const bool energy_aware =
+      config_.lambda_energy != 0.0 && ctx.state->power != nullptr;
   for (JobId j : candidate.running_jobs()) {
     const auto& v = ctx.view(j);
     const double x = ctx.state->oracle->estimate_placed_sps(v, candidate);
     auto it = rho.find(j);
     const double r = it != rho.end() ? it->second : 0.5;
-    total += remaining_samples(v, ctx, r) * static_cast<double>(candidate.gpu_count(j)) / x;
+    const double rem = remaining_samples(v, ctx, r);
+    total += rem * static_cast<double>(candidate.gpu_count(j)) / x;
+    if (energy_aware) {
+      // Predicted joules to finish under this placement, in TDP-GPU-second
+      // units so lambda trades them against the SRUF GPU-seconds above.
+      const auto gpus = candidate.gpus_of(j);
+      std::vector<int> batches;
+      batches.reserve(gpus.size());
+      for (GpuId g : gpus) batches.push_back(candidate.slot(g).local_batch);
+      const double watts = ctx.state->power->job_watts(
+          *v.profile, batches, ctx.state->topology->link_profile(gpus));
+      total += config_.lambda_energy * (rem / x) * watts /
+               ctx.state->power->config().gpu_busy_w;
+    }
   }
   // Switching surcharge relative to the live schedule: re-configuring or
   // preempting running jobs is not free, so a challenger must beat the

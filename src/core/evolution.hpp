@@ -48,6 +48,15 @@ struct EvolutionConfig {
   double switch_penalty_s = 15.0;
   /// Score surcharge for preempting a running job (losing its warm state).
   double preempt_penalty_s = 600.0;
+  /// JCT-vs-energy blend (DESIGN.md §10): per job, adds
+  ///   lambda_energy * T_j * watts_j / gpu_busy_w
+  /// (predicted joules in TDP-GPU-second units) to the SRUF score, steering
+  /// the search toward fewer, better-utilized workers. 0 — the default —
+  /// skips the term entirely, leaving scores bit-identical to the paper's
+  /// objective. Not part of the serialized RunSpec: every non-zero setting
+  /// MUST be tagged via RunSpec::variant (DESIGN.md §6) or the run cache
+  /// will alias it with default ONES.
+  double lambda_energy = 0.0;
   std::uint64_t seed = 99;
 };
 

@@ -3,7 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <system_error>
 #include <thread>
 
 namespace ones::exp {
@@ -72,7 +75,36 @@ BenchOptions parse_bench_cli(int argc, char** argv) {
       std::exit(2);
     }
   }
+  validate_output_dir(opt.grid.trace_dir, "--trace-dir", prog);
+  validate_output_dir(opt.grid.metrics_dir, "--metrics-dir", prog);
   return opt;
+}
+
+void validate_output_dir(const std::string& dir, const char* flag, const char* prog) {
+  if (dir.empty()) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "%s: %s: cannot create directory '%s': %s\n", prog, flag,
+                 dir.c_str(), ec.message().c_str());
+    std::exit(2);
+  }
+  if (!fs::is_directory(dir, ec) || ec) {
+    std::fprintf(stderr, "%s: %s: '%s' is not a directory\n", prog, flag, dir.c_str());
+    std::exit(2);
+  }
+  const fs::path probe = fs::path(dir) / ".write-probe";
+  {
+    std::ofstream f(probe, std::ios::binary | std::ios::trunc);
+    f << "probe";
+    if (!f.good()) {
+      std::fprintf(stderr, "%s: %s: directory '%s' is not writable\n", prog, flag,
+                   dir.c_str());
+      std::exit(2);
+    }
+  }
+  fs::remove(probe, ec);  // best-effort cleanup; a stale probe is harmless
 }
 
 }  // namespace ones::exp

@@ -26,6 +26,14 @@ struct BenchOptions {
 int default_threads();
 
 /// Parse bench flags; exits the process on --help (0) or bad usage (2).
+/// `--trace-dir`/`--metrics-dir` are validated up front via
+/// `validate_output_dir`, so an unwritable path fails in milliseconds
+/// instead of after the first executed run.
 BenchOptions parse_bench_cli(int argc, char** argv);
+
+/// Ensure `dir` exists (creating it if needed) and is writable by creating
+/// and removing a probe file. On failure prints "<prog>: <flag> ..." to
+/// stderr and exits(2). No-op for an empty `dir`.
+void validate_output_dir(const std::string& dir, const char* flag, const char* prog);
 
 }  // namespace ones::exp

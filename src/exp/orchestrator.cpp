@@ -35,8 +35,7 @@ RunResult run_simulation(const sched::SimulationConfig& config,
   sched::ClusterSimulation sim(config, trace, scheduler);
   sim.run();
   RunResult r;
-  r.summary = telemetry::summarize(scheduler.name(), sim.metrics(),
-                                   sim.topology().total_gpus());
+  r.summary = sim.summary(scheduler.name());
   r.jcts = sim.metrics().jcts();
   r.exec_times = sim.metrics().exec_times();
   r.queue_times = sim.metrics().queue_times();
@@ -173,6 +172,8 @@ RunResult pool_runs(const std::vector<RunResult>& runs) {
   pooled.summary.scheduler = runs.front().summary.scheduler;
   double makespan_sum = 0.0;
   double util_sum = 0.0;
+  double joules_sum = 0.0;
+  double overhead_sum = 0.0;
   for (const auto& r : runs) {
     pooled.jcts.insert(pooled.jcts.end(), r.jcts.begin(), r.jcts.end());
     pooled.exec_times.insert(pooled.exec_times.end(), r.exec_times.begin(),
@@ -182,6 +183,8 @@ RunResult pool_runs(const std::vector<RunResult>& runs) {
     pooled.completed += r.completed;
     makespan_sum += r.summary.makespan;
     util_sum += r.summary.utilization;
+    joules_sum += r.summary.cluster_joules;
+    overhead_sum += r.summary.overhead_joules;
     pooled.from_cache = pooled.from_cache || r.from_cache;
   }
   pooled.summary.jobs = pooled.jcts.size();
@@ -195,6 +198,8 @@ RunResult pool_runs(const std::vector<RunResult>& runs) {
   }
   pooled.summary.makespan = makespan_sum / static_cast<double>(runs.size());
   pooled.summary.utilization = util_sum / static_cast<double>(runs.size());
+  pooled.summary.cluster_joules = joules_sum / static_cast<double>(runs.size());
+  pooled.summary.overhead_joules = overhead_sum / static_cast<double>(runs.size());
   return pooled;
 }
 

@@ -68,6 +68,8 @@ std::string result_to_json(const RunResult& r) {
   os << ",\"max_jct\":" << json_double(r.summary.max_jct);
   os << ",\"makespan\":" << json_double(r.summary.makespan);
   os << ",\"utilization\":" << json_double(r.summary.utilization);
+  os << ",\"cluster_joules\":" << json_double(r.summary.cluster_joules);
+  os << ",\"overhead_joules\":" << json_double(r.summary.overhead_joules);
   os << "},";
   append_series(os, "jcts", r.jcts);
   os << ',';
@@ -108,6 +110,8 @@ RunResult result_from_json(const std::string& json) {
   r.summary.max_jct = read_number(*summary, "max_jct");
   r.summary.makespan = read_number(*summary, "makespan");
   r.summary.utilization = read_number(*summary, "utilization");
+  r.summary.cluster_joules = read_number(*summary, "cluster_joules");
+  r.summary.overhead_joules = read_number(*summary, "overhead_joules");
 
   r.jcts = read_series(doc, "jcts");
   r.exec_times = read_series(doc, "exec_times");

@@ -78,6 +78,14 @@ std::string canonical_serialize(const RunSpec& spec) {
   put(os, "oracle.noise_sigma", o.noise_sigma);
   put(os, "oracle.noise_seed", o.noise_seed);
 
+  // Electrical constants feed the joules in the result, so — unlike the
+  // trace/metrics sinks — they are cache-key inputs (DESIGN.md §10).
+  const auto& p = spec.sim.power;
+  put(os, "power.gpu_idle_w", p.gpu_idle_w);
+  put(os, "power.gpu_busy_w", p.gpu_busy_w);
+  put(os, "power.node_base_w", p.node_base_w);
+  put(os, "power.comm_power_fraction", p.comm_power_fraction);
+
   put(os, "sim.max_sim_time_s", spec.sim.max_sim_time_s);
   put(os, "sim.record_epoch_logs", spec.sim.record_epoch_logs);
 

@@ -22,6 +22,10 @@ namespace ones::telemetry {
 class MetricsRegistry;
 }
 
+namespace ones::energy {
+class PowerModel;
+}
+
 namespace ones::sched {
 
 enum class JobStatus { Waiting, Running, Completed };
@@ -90,6 +94,11 @@ struct ClusterState {
   /// All submitted jobs (any status), indexed by JobId order of arrival.
   std::vector<const JobView*> jobs;
   const ThroughputOracle* oracle = nullptr;
+  /// The driver's power model (DESIGN.md §10) — the same instance the
+  /// EnergyMeter bills with, so energy-aware policies (ONES's lambda_energy
+  /// blend, the PowerCap baseline) evaluate candidates against the meter
+  /// they will be charged by.
+  const energy::PowerModel* power = nullptr;
   /// Ground-truth remaining raw samples of a job at a given fixed batch.
   /// ONLY the SRTF-oracle upper-bound baseline may use this; production
   /// schedulers must predict from the epoch logs instead.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "cluster/fragmentation.hpp"
 #include "common/expect.hpp"
 #include "common/log.hpp"
 #include "model/throughput.hpp"
@@ -78,7 +79,10 @@ ClusterSimulation::ClusterSimulation(const SimulationConfig& config,
       topology_(config.topology),
       current_(topology_.total_gpus()),
       oracle_(topology_, config.oracle),
-      cost_model_(config.costs) {
+      cost_model_(config.costs),
+      power_model_(config.power),
+      energy_(power_model_, topology_,
+              [this](JobId job) { return runtime(job).view.profile; }) {
   ONES_EXPECT(!trace_.empty());
   // Schedule every arrival up front.
   for (const auto& spec : trace_) {
@@ -109,6 +113,9 @@ ClusterSimulation::ClusterSimulation(const SimulationConfig& config,
     scheduler_.set_metrics(registry_);
     queue_series_ = registry_->timeline().series("queue_depth");
     busy_series_ = registry_->timeline().series("busy_gpus");
+    frag_idle_series_ = registry_->timeline().series("frag_idle_gpus");
+    frag_scatter_series_ = registry_->timeline().series("frag_scatter_index");
+    energy_.set_metrics(registry_);
   }
 }
 
@@ -132,12 +139,20 @@ const ClusterSimulation::JobRuntime& ClusterSimulation::runtime(JobId job) const
 
 const JobView& ClusterSimulation::job_view(JobId job) const { return runtime(job).view; }
 
+telemetry::Summary ClusterSimulation::summary(const std::string& scheduler) const {
+  auto s = telemetry::summarize(scheduler, metrics_, topology_.total_gpus());
+  s.cluster_joules = energy_.cluster_joules();
+  s.overhead_joules = energy_.overhead_joules();
+  return s;
+}
+
 ClusterState ClusterSimulation::make_state() const {
   ClusterState s;
   s.now = engine_.now();
   s.topology = &topology_;
   s.current = &current_;
   s.oracle = &oracle_;
+  s.power = &power_model_;
   s.jobs.reserve(arrived_order_.size());
   for (JobId id : arrived_order_) {
     s.jobs.push_back(&runtimes_.at(id).view);
@@ -159,6 +174,15 @@ void ClusterSimulation::run() {
                       .detail = scheduler_.name()});
   }
   engine_.run_until(config_.max_sim_time_s);
+  // run_until pads now() to the horizon once the queue drains; billing the
+  // all-idle cluster across that padding would swamp the run's real draw.
+  // A finished trace ends at the last completion (straggler timer events may
+  // have metered slightly past it); a truncated one really does hold its
+  // residual jobs until the horizon.
+  const double energy_end =
+      all_completed() ? std::max(metrics_.makespan(), energy_.metered_until())
+                      : engine_.now();
+  energy_.finalize(energy_end);
   if (registry_ != nullptr) {
     sample_cluster_metrics();
     registry_->timeline().advance(engine_.now());
@@ -190,6 +214,7 @@ double ClusterSimulation::actual_tput(JobId job, const cluster::Assignment& assi
 
 void ClusterSimulation::update_busy() {
   metrics_.on_busy_gpus(topology_.total_gpus() - current_.idle_count(), engine_.now());
+  energy_.on_assignment(current_, engine_.now());
   sample_cluster_metrics();
 }
 
@@ -206,6 +231,17 @@ void ClusterSimulation::sample_cluster_metrics() {
   registry_->gauge("sim_pending_events").set(static_cast<double>(engine_.pending()));
   registry_->timeline().record(queue_series_, now, waiting);
   registry_->timeline().record(busy_series_, now, busy);
+  const cluster::FragmentationStats frag =
+      cluster::fragmentation_stats(current_, topology_);
+  registry_->gauge("cluster_frag_idle_gpus").set(static_cast<double>(frag.idle_gpus));
+  registry_->gauge("cluster_frag_largest_block")
+      .set(static_cast<double>(frag.largest_colocated_block));
+  registry_->gauge("cluster_frag_nodes_with_idle")
+      .set(static_cast<double>(frag.nodes_with_idle));
+  registry_->gauge("cluster_frag_scatter_index").set(frag.scatter_index);
+  registry_->timeline().record(frag_idle_series_, now,
+                               static_cast<double>(frag.idle_gpus));
+  registry_->timeline().record(frag_scatter_series_, now, frag.scatter_index);
 }
 
 void ClusterSimulation::record_batch_point(JobId job) {

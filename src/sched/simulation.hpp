@@ -21,6 +21,8 @@
 #include "cluster/assignment.hpp"
 #include "cluster/topology.hpp"
 #include "elastic/cost_model.hpp"
+#include "energy/meter.hpp"
+#include "energy/power_model.hpp"
 #include "model/convergence.hpp"
 #include "sched/oracle.hpp"
 #include "sched/scheduler.hpp"
@@ -36,6 +38,10 @@ struct SimulationConfig {
   model::ConvergenceConfig convergence;
   elastic::CostConfig costs;
   OracleConfig oracle;
+  /// Electrical constants for the energy meter (DESIGN.md §10). Unlike the
+  /// trace/metrics sinks this IS simulation input: joules are part of the
+  /// result, so the orchestrator serializes it into the cache key.
+  energy::PowerConfig power;
   /// Hard stop; a correct run finishes long before (all jobs complete).
   double max_sim_time_s = 1e7;
   /// Keep per-epoch logs in the JobViews (needed by ONES and Optimus).
@@ -63,6 +69,11 @@ class ClusterSimulation {
   void run();
 
   const telemetry::MetricsCollector& metrics() const { return metrics_; }
+  /// Integrated per-job / per-node / cluster joules (final after run()).
+  const energy::EnergyMeter& energy() const { return energy_; }
+  /// telemetry::summarize over this run's metrics with the energy objective
+  /// filled in (summarize() itself cannot: telemetry layers below energy).
+  telemetry::Summary summary(const std::string& scheduler) const;
   const cluster::Topology& topology() const { return topology_; }
   const cluster::Assignment& current_assignment() const { return current_; }
   const JobView& job_view(JobId job) const;
@@ -123,6 +134,8 @@ class ClusterSimulation {
   ThroughputOracle oracle_;
   elastic::ScalingCostModel cost_model_;
   telemetry::MetricsCollector metrics_;
+  energy::PowerModel power_model_;
+  energy::EnergyMeter energy_;
 
   std::unordered_map<JobId, JobRuntime> runtimes_;
   std::vector<JobId> arrived_order_;
@@ -141,6 +154,8 @@ class ClusterSimulation {
   telemetry::MetricsRegistry* registry_ = nullptr;
   telemetry::TimelineSampler::SeriesId queue_series_ = 0;
   telemetry::TimelineSampler::SeriesId busy_series_ = 0;
+  telemetry::TimelineSampler::SeriesId frag_idle_series_ = 0;
+  telemetry::TimelineSampler::SeriesId frag_scatter_series_ = 0;
   std::unordered_map<JobId, telemetry::TimelineSampler::SeriesId> batch_series_;
 };
 

@@ -154,19 +154,20 @@ Summary summarize(const std::string& scheduler, const MetricsCollector& metrics,
 }
 
 std::string format_summary_header() {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "%-10s %6s %10s %10s %10s %9s %9s %9s %9s %6s",
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%-10s %6s %10s %10s %10s %9s %9s %9s %9s %6s %9s",
                 "scheduler", "jobs", "avgJCT", "avgExec", "avgQueue", "p50JCT",
-                "p90JCT", "maxJCT", "makespan", "util");
+                "p90JCT", "maxJCT", "makespan", "util", "energyMJ");
   return buf;
 }
 
 std::string format_summary_row(const Summary& s) {
-  char buf[200];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
-                "%-10s %6zu %10.1f %10.1f %10.1f %9.1f %9.1f %9.1f %9.1f %5.1f%%",
+                "%-10s %6zu %10.1f %10.1f %10.1f %9.1f %9.1f %9.1f %9.1f %5.1f%% %9.2f",
                 s.scheduler.c_str(), s.jobs, s.avg_jct, s.avg_exec, s.avg_queue,
-                s.p50_jct, s.p90_jct, s.max_jct, s.makespan, 100.0 * s.utilization);
+                s.p50_jct, s.p90_jct, s.max_jct, s.makespan, 100.0 * s.utilization,
+                s.cluster_joules / 1e6);
   return buf;
 }
 

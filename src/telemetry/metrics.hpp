@@ -86,6 +86,11 @@ struct Summary {
   double max_jct = 0.0;
   double makespan = 0.0;
   double utilization = 0.0;  ///< mean busy-GPU fraction over the makespan
+  /// Energy objective (DESIGN.md §10): total cluster joules integrated over
+  /// the run, and the share not attributable to any job (idle GPUs + node
+  /// base power). Filled by the driver/orchestrator, not by summarize().
+  double cluster_joules = 0.0;
+  double overhead_joules = 0.0;
 };
 
 Summary summarize(const std::string& scheduler, const MetricsCollector& metrics,

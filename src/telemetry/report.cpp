@@ -37,7 +37,9 @@ std::string summary_to_json(const Summary& s) {
      << ",\"avg_jct_s\":" << s.avg_jct << ",\"avg_exec_s\":" << s.avg_exec
      << ",\"avg_queue_s\":" << s.avg_queue << ",\"p50_jct_s\":" << s.p50_jct
      << ",\"p90_jct_s\":" << s.p90_jct << ",\"max_jct_s\":" << s.max_jct
-     << ",\"makespan_s\":" << s.makespan << ",\"utilization\":" << s.utilization << "}";
+     << ",\"makespan_s\":" << s.makespan << ",\"utilization\":" << s.utilization
+     << ",\"cluster_joules\":" << s.cluster_joules
+     << ",\"overhead_joules\":" << s.overhead_joules << "}";
   return os.str();
 }
 

@@ -81,6 +81,8 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.summary.max_jct, b.summary.max_jct);
   EXPECT_EQ(a.summary.makespan, b.summary.makespan);
   EXPECT_EQ(a.summary.utilization, b.summary.utilization);
+  EXPECT_EQ(a.summary.cluster_joules, b.summary.cluster_joules);
+  EXPECT_EQ(a.summary.overhead_joules, b.summary.overhead_joules);
   EXPECT_EQ(a.jcts, b.jcts);
   EXPECT_EQ(a.exec_times, b.exec_times);
   EXPECT_EQ(a.queue_times, b.queue_times);
