@@ -60,6 +60,7 @@ class AnnealingScheduler : public sched::Scheduler {
   double temperature_;
   std::uint64_t proposals_ = 0;
   std::uint64_t accepted_ = 0;
+  // ones-lint: unordered-ok(find-by-JobId only (progress gate); rebuilt from running_jobs() order on each deploy)
   std::unordered_map<JobId, int> epochs_at_deploy_;
 };
 

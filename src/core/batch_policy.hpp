@@ -85,6 +85,7 @@ class BatchLimitManager {
   int cap_limit(const sched::JobView& job) const;
 
   BatchPolicyConfig config_;
+  // ones-lint: unordered-ok(per-job batch limit, find/erase by JobId only, never iterated)
   std::unordered_map<JobId, int> limits_;
   double first_arrival_ = -1.0;
   double last_arrival_ = -1.0;

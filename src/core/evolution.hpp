@@ -67,9 +67,11 @@ struct EvolutionContext {
   const predict::ProgressPredictor* predictor = nullptr;
   const BatchLimitManager* limits = nullptr;
   /// JobId -> view lookup (avoids linear scans in the hot scoring loop).
+  // ones-lint: unordered-ok(view() lookup by JobId only; traversal always uses state->jobs, which is arrival-ordered)
   std::unordered_map<JobId, const sched::JobView*> by_id;
   /// Lazily-filled cache of expected remaining workloads (the predictor's
   /// Beta math is too costly to repeat per fill-loop iteration).
+  // ones-lint: unordered-ok(memo keyed by JobId; values are order-independent pure functions of the job)
   mutable std::unordered_map<JobId, double> yrem_cache;
 
   const sched::JobView& view(JobId job) const;
@@ -83,6 +85,7 @@ EvolutionContext make_context(const sched::ClusterState& state,
                               const predict::ProgressPredictor* predictor,
                               const BatchLimitManager* limits);
 
+// ones-lint: unordered-ok(rho draws are read back per-JobId in score(); every consumer iterates jobs via state->jobs, never this map)
 using RhoMap = std::unordered_map<JobId, double>;
 
 class Evolution {

@@ -67,6 +67,7 @@ class OnesScheduler : public sched::Scheduler {
   BatchLimitManager limits_;
   Evolution evolution_;
   /// epochs_completed of each running job at the moment of the last deploy.
+  // ones-lint: unordered-ok(find-by-JobId only (progress gate); rebuilt from running_jobs() order on each deploy)
   std::unordered_map<JobId, int> epochs_at_deploy_;
   std::uint64_t rounds_ = 0;
 };

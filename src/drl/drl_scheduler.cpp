@@ -79,7 +79,7 @@ std::vector<DrlScheduler::Action> DrlScheduler::enumerate_actions(
 }
 
 std::optional<cluster::Assignment> DrlScheduler::on_event(
-    const sched::ClusterState& state, const sched::SchedulerEvent& event) {
+    const sched::ClusterState& state, const sched::SchedulerEvent& /*event*/) {
   // The agent is invoked on every cluster event (arrivals, completions and
   // epoch boundaries) but never preempts running jobs.
 

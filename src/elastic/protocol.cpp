@@ -35,6 +35,7 @@ ScalingSession::ScalingSession(sim::SimEngine& engine, const model::TaskProfile&
   ONES_EXPECT(!request_.old_workers.empty());
   ONES_EXPECT(!request_.new_workers.empty());
   ONES_EXPECT(on_done_ != nullptr);
+  // ones-lint: unordered-ok(membership probe while iterating new_workers in request order; the set itself is never iterated)
   std::unordered_set<GpuId> old_set(request_.old_workers.begin(), request_.old_workers.end());
   for (GpuId g : request_.new_workers) {
     if (old_set.count(g)) {

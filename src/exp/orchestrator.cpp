@@ -110,6 +110,7 @@ std::vector<RunResult> run_grid(const std::vector<RunSpec>& specs,
         if (slot >= pending.size()) return;
         const std::size_t i = pending[slot];
         try {
+          // ones-lint: wall-clock-ok(per-run wall time feeds the stderr progress/ETA line only, never a result)
           const auto t0 = std::chrono::steady_clock::now();
           std::optional<trace::RunTraceWriter> writer;
           if (!options.trace_dir.empty()) {
@@ -125,6 +126,7 @@ std::vector<RunResult> run_grid(const std::vector<RunSpec>& specs,
           }
           if (writer) writer->close();
           const double wall_s =
+              // ones-lint: wall-clock-ok(cosmetic: progress/ETA reporting on stderr)
               std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                   .count();
           cache.store(specs[i], results[i]);

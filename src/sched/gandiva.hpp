@@ -44,6 +44,7 @@ class GandivaScheduler : public Scheduler {
  private:
   GandivaConfig config_;
   /// Executed time at the start of each job's current slice.
+  // ones-lint: unordered-ok(per-job slice bookkeeping, keyed access only; candidate order comes from state.active_jobs())
   std::unordered_map<JobId, double> slice_start_exec_;
 };
 

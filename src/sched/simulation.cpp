@@ -389,12 +389,14 @@ void ClusterSimulation::notify(EventKind kind, JobId job) {
   // Wall-clock is allowed here ONLY because the decision histogram is
   // Host-scope: stderr diagnostics, never exported to a file or fed back
   // into any simulated quantity.
+  // ones-lint-begin: wall-clock-ok(Host-scope decision-time histogram; stderr diagnostics only, never a simulated quantity)
   std::chrono::steady_clock::time_point host_begin;
   if (registry_ != nullptr) host_begin = std::chrono::steady_clock::now();
   std::optional<cluster::Assignment> next = scheduler_.on_event(state, {kind, job});
   if (registry_ != nullptr) {
     const std::chrono::duration<double> host_s =
         std::chrono::steady_clock::now() - host_begin;
+    // ones-lint-end: wall-clock-ok
     registry_
         ->histogram("sched_decision_host_seconds", kDecisionHostBounds,
                     telemetry::MetricScope::Host)

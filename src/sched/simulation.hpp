@@ -137,6 +137,7 @@ class ClusterSimulation {
   energy::PowerModel power_model_;
   energy::EnergyMeter energy_;
 
+  // ones-lint: unordered-ok(keyed lookup via runtime() only; every traversal goes through arrived_order_, which fixes iteration to arrival order)
   std::unordered_map<JobId, JobRuntime> runtimes_;
   std::vector<JobId> arrived_order_;
   std::size_t completed_count_ = 0;
@@ -156,6 +157,7 @@ class ClusterSimulation {
   telemetry::TimelineSampler::SeriesId busy_series_ = 0;
   telemetry::TimelineSampler::SeriesId frag_idle_series_ = 0;
   telemetry::TimelineSampler::SeriesId frag_scatter_series_ = 0;
+  // ones-lint: unordered-ok(per-job series-id memo, find/emplace by JobId only, never iterated)
   std::unordered_map<JobId, telemetry::TimelineSampler::SeriesId> batch_series_;
 };
 

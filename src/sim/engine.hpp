@@ -89,8 +89,10 @@ class SimEngine {
   EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // ones-lint: unordered-ok(tombstone membership test + erase by EventId only; fire order comes from the heap, never from hash order)
   std::unordered_set<EventId> cancelled_;
   // Callbacks are kept out of the heap entries so cancellation can free them.
+  // ones-lint: unordered-ok(keyed lookup/erase by EventId only, never iterated)
   std::unordered_map<EventId, std::function<void()>> callbacks_;
 };
 

@@ -389,7 +389,7 @@ TEST(Evolution, StepImprovesOrMaintainsBestScore) {
   Fixture f;
   for (JobId j = 1; j <= 6; ++j) {
     auto& v = f.add_job(j, "ResNet18", 20000 + 1000 * j, sched::JobStatus::Waiting, 2);
-    v.samples_processed = 10000.0 * j;
+    v.samples_processed = 10000.0 * static_cast<double>(j);
   }
   auto ctx = f.context();
   EvolutionConfig cfg;

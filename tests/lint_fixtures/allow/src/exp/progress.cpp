@@ -1,0 +1,14 @@
+// Fixture: R1 allowlist — this path ends in src/exp/progress.cpp, which is
+// on the default wall-clock allowlist (progress/ETA reporter). Expected:
+// clean under default options, one R1 with --no-default-allow.
+#include <chrono>
+
+namespace fixture {
+
+double progress_eta() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: R3/R4 scope — this file is NOT under src/, so bare includes and
+// assert() are out of scope for those rules (R1 still applies everywhere,
+// hence no wall-clock here). Expected: clean.
+#include <cassert>
+
+namespace fixture {
+
+int checked(int v) {
+  assert(v >= 0);
+  return v;
+}
+
+}  // namespace fixture

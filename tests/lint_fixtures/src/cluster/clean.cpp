@@ -1,0 +1,17 @@
+// Fixture: fully clean file — module-form include, ONES_EXPECT instead of
+// assert, ordered containers, sim-time only. Expected: clean.
+#include "common/expect.hpp"
+
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+inline double sum_sorted(const std::map<int, double>& m) {
+  ONES_EXPECT(!m.empty());
+  double sum = 0.0;
+  for (const auto& [k, v] : m) sum += v;
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: R2 negative — the same declarations, each annotated with a
+// reason. Expected: clean.
+#pragma once
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct State {
+  // ones-lint: unordered-ok(keyed lookup only, never iterated)
+  std::unordered_map<int, double> weights;
+  // ones-lint: unordered-ok(membership probe only, never iterated)
+  std::unordered_set<int> members;
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: R2 positive — unordered containers declared in a decision-path
+// module (core) without the unordered-ok annotation. Expected: two R2.
+#pragma once
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct State {
+  std::unordered_map<int, double> weights;
+  std::unordered_set<int> members;
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: R3 positive — assert() in library code under src/. Expected:
+// one R3 (static_assert and ASSERT_-style macros must not match).
+#include <cassert>
+
+namespace fixture {
+
+static_assert(sizeof(int) >= 4, "not an R3 finding");
+
+int checked(int v) {
+  assert(v >= 0);
+  return v;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: R4 positive — include hygiene under src/: a "../" relative
+// include and a bare file-name include. Expected: two R4. The angle-bracket
+// and module-form includes are fine.
+// ones-lint: include-ok(fixture: the next include is the violation under test)
+#include "../common/expect.hpp"  // annotated: suppressed
+#include "../model/task.hpp"     // R4: relative include
+#include "task.hpp"              // R4: bare include
+#include "model/task.hpp"        // clean: module/file.hpp form
+#include <vector>                // clean: system include
+
+namespace fixture {}

@@ -1,0 +1,16 @@
+// Fixture: R1 negative — the same wall-clock calls, each carrying the
+// annotation escape hatch (single-line and region form). Expected: clean.
+#include <chrono>
+
+namespace fixture {
+
+double eta() {
+  // ones-lint: wall-clock-ok(cosmetic stderr ETA only)
+  const auto t0 = std::chrono::steady_clock::now();
+  // ones-lint-begin: wall-clock-ok(still the same cosmetic ETA block)
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+  // ones-lint-end: wall-clock-ok
+}
+
+}  // namespace fixture

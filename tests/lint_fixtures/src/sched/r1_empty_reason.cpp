@@ -1,0 +1,12 @@
+// Fixture: R1 positive — an annotation with an empty reason must NOT
+// suppress the finding. Expected: one R1.
+#include <chrono>
+
+namespace fixture {
+
+double bad() {
+  // ones-lint: wall-clock-ok()
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: R1 positive — wall-clock and ambient randomness without any
+// annotation. Expected findings: one R1 per offending line (4 total).
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int ambient_random() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: R2 negative — iteration over an unordered container that is
+// provably order-insensitive, carrying the escape-hatch annotation.
+// Expected: clean.
+#include <unordered_map>
+
+namespace fixture {
+
+double total() {
+  // ones-lint: unordered-ok(fixture: summing only)
+  std::unordered_map<int, double> scores;
+  scores[1] = 0.5;
+  double sum = 0.0;
+  // ones-lint: unordered-iteration-ok(commutative sum, order cannot leak)
+  for (const auto& [id, s] : scores) sum += s;
+  return sum;
+}
+
+}  // namespace fixture

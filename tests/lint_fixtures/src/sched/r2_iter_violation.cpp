@@ -1,0 +1,19 @@
+// Fixture: R2 positive — iterating an unordered container in a
+// decision-path module (sched): once by range-for, once through .begin().
+// The declarations themselves are annotated, so the expected findings are
+// exactly the two iteration sites.
+#include <unordered_map>
+
+namespace fixture {
+
+double decide() {
+  // ones-lint: unordered-ok(fixture: exercising the iteration rule, not this one)
+  std::unordered_map<int, double> scores;
+  scores[1] = 0.5;
+  double sum = 0.0;
+  for (const auto& [id, s] : scores) sum += s;
+  for (auto it = scores.begin(); it != scores.end(); ++it) sum += it->second;
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: ANN positives — a typo'd tag and a region never closed must be
+// findings themselves (a typo must not silently disable a rule). Expected:
+// two ANN findings.
+
+namespace fixture {
+
+// ones-lint: wall-clok-ok(typo in the tag)
+// ones-lint-begin: wall-clock-ok(this region is never closed)
+inline int f() { return 1; }
+
+}  // namespace fixture

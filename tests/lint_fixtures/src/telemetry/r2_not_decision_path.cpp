@@ -1,0 +1,17 @@
+// Fixture: R2 scope — telemetry is NOT a decision-path module, so unordered
+// declarations and iteration are allowed without annotations (results-path
+// determinism is covered by the exporters sorting their output). Expected:
+// clean.
+#include <unordered_map>
+
+namespace fixture {
+
+double export_sum() {
+  std::unordered_map<int, double> samples;
+  samples[7] = 1.0;
+  double sum = 0.0;
+  for (const auto& [id, v] : samples) sum += v;
+  return sum;
+}
+
+}  // namespace fixture

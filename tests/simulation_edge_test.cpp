@@ -66,7 +66,7 @@ TEST(SimEdge, ArrivalAndCompletionOrderingIsDeterministic) {
   // Two identical runs with simultaneous events must agree exactly.
   std::vector<workload::JobSpec> trace;
   for (JobId j = 0; j < 8; ++j) {
-    trace.push_back(make_spec(j, "GoogleNet", 25000, (j / 2) * 10.0));
+    trace.push_back(make_spec(j, "GoogleNet", 25000, static_cast<double>(j / 2) * 10.0));
   }
   auto run = [&] {
     TiresiasScheduler s;
@@ -84,7 +84,7 @@ TEST(SimEdge, HeavyModelOnlyTrace) {
   // BERT everywhere: large all-reduce payloads, small reference batches.
   std::vector<workload::JobSpec> trace;
   for (JobId j = 0; j < 6; ++j) {
-    trace.push_back(make_spec(j, "BERT", 5000, 15.0 * j, 2));
+    trace.push_back(make_spec(j, "BERT", 5000, 15.0 * static_cast<double>(j), 2));
   }
   core::OnesScheduler s;
   ClusterSimulation sim(config_with(2), trace, s);

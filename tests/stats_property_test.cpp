@@ -122,8 +122,8 @@ TEST_P(WilcoxonEffect, PowerGrowsWithEffectSize) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Shifts, WilcoxonEffect, testing::Values(0.0, 5.0, 15.0, 40.0),
-                         [](const testing::TestParamInfo<double>& info) {
-                           return "shift" + std::to_string(static_cast<int>(info.param));
+                         [](const testing::TestParamInfo<double>& shift_info) {
+                           return "shift" + std::to_string(static_cast<int>(shift_info.param));
                          });
 
 }  // namespace

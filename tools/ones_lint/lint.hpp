@@ -1,0 +1,81 @@
+// ones_lint — repo-specific determinism linter (DESIGN.md §11).
+//
+// Statically enforces the determinism contract that CLAUDE.md states in
+// prose and the orchestrator/trace/metrics layers assert at runtime:
+//
+//   R1  no wall-clock or ambient randomness (std::chrono clocks, ::time,
+//       rand/srand, std::random_device, clock_gettime, ...) outside the
+//       progress/ETA allowlist or a `wall-clock-ok` annotation;
+//   R2  unordered-container discipline in decision-path modules
+//       (sim, sched, core, elastic, predict): every textual use of
+//       std::unordered_map/std::unordered_set needs an `unordered-ok`
+//       annotation stating why hash order cannot leak into decisions, and
+//       iterating one is banned outright unless the site carries
+//       `unordered-iteration-ok`;
+//   R3  library code under src/ uses ONES_EXPECT(_MSG), never assert();
+//   R4  include hygiene under src/: quoted includes are "module/file.hpp"
+//       relative to the src/ include root — no "../", no bare file names.
+//
+// Annotation grammar (in a comment):
+//
+//   // ones-lint: <tag>(<non-empty reason>)        — this line and the next
+//   // ones-lint-begin: <tag>(<non-empty reason>)  — until the matching
+//   // ones-lint-end: <tag>                        —   end marker
+//
+// with <tag> one of wall-clock-ok, unordered-ok, unordered-iteration-ok,
+// assert-ok, include-ok. An empty reason does not suppress the finding;
+// unknown tags and regions left open at end-of-file are findings themselves
+// (rule "ANN") so a typo cannot silently disable a rule.
+//
+// The analysis is line-oriented and textual (comments and string literals
+// are stripped first); it is deliberately conservative and layered — the
+// golden quickstart trace digest and the replay invariant checker catch
+// what a text-level lint cannot (e.g. hash order reaching a decision
+// through a type alias declared in another file).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ones::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;  // "R1".."R4"
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+struct Options {
+  /// Files exempt from R1, matched as a path suffix (e.g.
+  /// "src/exp/progress.cpp"). The default set covers the cosmetic
+  /// wall-clock users sanctioned by CLAUDE.md: the progress/ETA reporter
+  /// and bench::ScopedTimer.
+  std::vector<std::string> wall_clock_allowlist;
+  bool r1 = true;
+  bool r2 = true;
+  bool r3 = true;
+  bool r4 = true;
+};
+
+/// Options with the repo's baked-in R1 allowlist.
+Options default_options();
+
+/// Lint one file given its contents. `path` drives rule scoping (decision-path
+/// module detection, src/ membership) and appears in findings verbatim.
+std::vector<Finding> lint_file(const std::string& path, const std::string& content,
+                               const Options& options);
+
+/// Recursively lint every .hpp/.cpp under each root (a root may also be a
+/// single file). Findings are sorted by (file, line, rule) and the scan order
+/// is deterministic. Throws std::runtime_error on an unreadable root.
+std::vector<Finding> lint_tree(const std::vector<std::string>& roots,
+                               const Options& options);
+
+/// "file:line: [rule] message" — one line, matches common compiler output so
+/// editors and CI annotate it.
+std::string format(const Finding& finding);
+
+}  // namespace ones::lint

@@ -1,0 +1,96 @@
+// ones_lint CLI — `ones_lint [options] <file-or-dir>...`
+//
+//   --allow=<suffix>   add a file (path suffix) to the R1 wall-clock allowlist
+//   --no-default-allow start from an empty allowlist (fixture tests)
+//   --rules=R1,R3      run only the listed rules (default: all)
+//
+// Exit code 0 when clean, 1 when any finding, 2 on usage/IO error. Findings
+// go to stdout in compiler format (file:line: [Rn] message); the summary goes
+// to stderr.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: ones_lint [--allow=<path-suffix>]... [--no-default-allow]\n"
+               "                 [--rules=R1,R2,R3,R4] <file-or-dir>...\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ones::lint::Options options = ones::lint::default_options();
+  std::vector<std::string> roots;
+  std::vector<std::string> extra_allow;
+  bool default_allow = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--allow=", 0) == 0) {
+      extra_allow.push_back(arg.substr(std::strlen("--allow=")));
+    } else if (arg == "--no-default-allow") {
+      default_allow = false;
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      options.r1 = options.r2 = options.r3 = options.r4 = false;
+      std::string list = arg.substr(std::strlen("--rules="));
+      std::string tok;
+      auto apply = [&](const std::string& rule) {
+        if (rule == "R1") {
+          options.r1 = true;
+        } else if (rule == "R2") {
+          options.r2 = true;
+        } else if (rule == "R3") {
+          options.r3 = true;
+        } else if (rule == "R4") {
+          options.r4 = true;
+        } else {
+          throw std::runtime_error("unknown rule: " + rule);
+        }
+      };
+      for (char c : list) {
+        if (c == ',') {
+          apply(tok);
+          tok.clear();
+        } else {
+          tok += c;
+        }
+      }
+      if (!tok.empty()) apply(tok);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "ones_lint: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (!default_allow) options.wall_clock_allowlist.clear();
+  options.wall_clock_allowlist.insert(options.wall_clock_allowlist.end(),
+                                      extra_allow.begin(), extra_allow.end());
+  if (roots.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const auto findings = ones::lint::lint_tree(roots, options);
+    for (const auto& f : findings) std::cout << ones::lint::format(f) << "\n";
+    if (findings.empty()) {
+      std::cerr << "ones_lint: clean\n";
+      return 0;
+    }
+    std::cerr << "ones_lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
