@@ -69,6 +69,39 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Wall-clock stopwatch readable mid-flight — for the stderr-only
+/// throughput lines (events/sec) of the hyperscale tiers. Like ScopedTimer,
+/// it must never feed stdout or results (determinism, CLAUDE.md).
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Peak resident set size (VmHWM) in MiB from /proc/self/status, 0.0 when
+/// unavailable (non-Linux). Diagnostics only — callers print it to stderr.
+inline double peak_rss_mib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double kib = 0.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long v = 0;
+    if (std::sscanf(line, "VmHWM: %ld kB", &v) == 1) {
+      kib = static_cast<double>(v);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib / 1024.0;
+}
+
 using RunResult = exp::RunResult;
 
 inline RunResult run_one(const sched::SimulationConfig& config,

@@ -2,14 +2,34 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_set>
+#include <utility>
 
 #include "common/expect.hpp"
 
 namespace ones::cluster {
 
+namespace {
+
+/// Sorted-insert into an ascending vector (no duplicates expected).
+template <typename T>
+void insert_sorted(std::vector<T>& v, T value) {
+  v.insert(std::lower_bound(v.begin(), v.end(), value), value);
+}
+
+/// Remove `value` from an ascending vector; it must be present.
+template <typename T>
+void erase_sorted(std::vector<T>& v, T value) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value);
+  ONES_EXPECT_MSG(it != v.end() && *it == value, "index entry missing");
+  v.erase(it);
+}
+
+}  // namespace
+
 Assignment::Assignment(int num_gpus) : slots_(static_cast<std::size_t>(num_gpus)) {
   ONES_EXPECT(num_gpus >= 0);
+  idle_.resize(static_cast<std::size_t>(num_gpus));
+  for (int g = 0; g < num_gpus; ++g) idle_[static_cast<std::size_t>(g)] = g;
 }
 
 const Slot& Assignment::slot(GpuId gpu) const {
@@ -17,26 +37,83 @@ const Slot& Assignment::slot(GpuId gpu) const {
   return slots_[static_cast<std::size_t>(gpu)];
 }
 
+const Assignment::JobStat* Assignment::find_stat(JobId job) const {
+  const auto it = std::lower_bound(
+      jobs_.begin(), jobs_.end(), job,
+      [](const JobStat& s, JobId j) { return s.job < j; });
+  if (it == jobs_.end() || it->job != job) return nullptr;
+  return &*it;
+}
+
+Assignment::JobStat* Assignment::find_stat(JobId job) {
+  return const_cast<JobStat*>(std::as_const(*this).find_stat(job));
+}
+
+void Assignment::attach(JobId job, GpuId gpu, int local_batch) {
+  JobStat* stat = find_stat(job);
+  if (stat == nullptr) {
+    const auto it = std::lower_bound(
+        jobs_.begin(), jobs_.end(), job,
+        [](const JobStat& s, JobId j) { return s.job < j; });
+    stat = &*jobs_.insert(it, JobStat{job, 0, {}});
+  }
+  stat->global_batch += local_batch;
+  insert_sorted(stat->gpus, gpu);
+}
+
+void Assignment::detach(JobId job, GpuId gpu, int local_batch) {
+  JobStat* stat = find_stat(job);
+  ONES_EXPECT_MSG(stat != nullptr, "job index entry missing");
+  stat->global_batch -= local_batch;
+  erase_sorted(stat->gpus, gpu);
+  if (stat->gpus.empty()) {
+    jobs_.erase(jobs_.begin() + (stat - jobs_.data()));
+  }
+}
+
 void Assignment::place(GpuId gpu, JobId job, int local_batch) {
   ONES_EXPECT(gpu >= 0 && gpu < num_gpus());
   ONES_EXPECT_MSG(job != kInvalidJob, "cannot place the invalid job");
   ONES_EXPECT_MSG(local_batch >= 1, "a worker needs at least one sample per step");
-  slots_[static_cast<std::size_t>(gpu)] = Slot{job, local_batch};
+  Slot& s = slots_[static_cast<std::size_t>(gpu)];
+  if (s.occupied()) {
+    if (s.job == job) {
+      // Same job, possibly a new batch: only the batch sum moves.
+      find_stat(job)->global_batch += local_batch - s.local_batch;
+      s.local_batch = local_batch;
+      return;
+    }
+    detach(s.job, gpu, s.local_batch);
+  } else {
+    erase_sorted(idle_, gpu);
+  }
+  s = Slot{job, local_batch};
+  attach(job, gpu, local_batch);
 }
 
 void Assignment::clear(GpuId gpu) {
   ONES_EXPECT(gpu >= 0 && gpu < num_gpus());
-  slots_[static_cast<std::size_t>(gpu)] = Slot{};
+  Slot& s = slots_[static_cast<std::size_t>(gpu)];
+  if (!s.occupied()) return;
+  detach(s.job, gpu, s.local_batch);
+  insert_sorted(idle_, gpu);
+  s = Slot{};
 }
 
 int Assignment::evict(JobId job) {
-  int freed = 0;
-  for (auto& s : slots_) {
-    if (s.job == job) {
-      s = Slot{};
-      ++freed;
-    }
+  const JobStat* stat = find_stat(job);
+  if (stat == nullptr) return 0;
+  const int freed = static_cast<int>(stat->gpus.size());
+  const std::size_t old_idle = idle_.size();
+  for (const GpuId g : stat->gpus) {
+    slots_[static_cast<std::size_t>(g)] = Slot{};
+    idle_.push_back(g);
   }
+  // Both halves are ascending: one merge instead of c_j binary inserts.
+  std::inplace_merge(idle_.begin(),
+                     idle_.begin() + static_cast<std::ptrdiff_t>(old_idle),
+                     idle_.end());
+  jobs_.erase(jobs_.begin() + (stat - jobs_.data()));
   return freed;
 }
 
@@ -45,56 +122,58 @@ void Assignment::set_local_batch(GpuId gpu, int local_batch) {
   ONES_EXPECT(local_batch >= 1);
   auto& s = slots_[static_cast<std::size_t>(gpu)];
   ONES_EXPECT_MSG(s.occupied(), "cannot set a batch size on an idle GPU");
+  find_stat(s.job)->global_batch += local_batch - s.local_batch;
   s.local_batch = local_batch;
 }
 
 int Assignment::global_batch(JobId job) const {
-  int b = 0;
-  for (const auto& s : slots_) {
-    if (s.job == job) b += s.local_batch;
-  }
-  return b;
+  const JobStat* stat = find_stat(job);
+  return stat != nullptr ? stat->global_batch : 0;
 }
 
 int Assignment::gpu_count(JobId job) const {
-  int c = 0;
-  for (const auto& s : slots_) {
-    if (s.job == job) ++c;
-  }
-  return c;
+  const JobStat* stat = find_stat(job);
+  return stat != nullptr ? static_cast<int>(stat->gpus.size()) : 0;
 }
 
 std::vector<GpuId> Assignment::gpus_of(JobId job) const {
-  std::vector<GpuId> out;
-  for (int g = 0; g < num_gpus(); ++g) {
-    if (slots_[static_cast<std::size_t>(g)].job == job) out.push_back(g);
-  }
-  return out;
+  const JobStat* stat = find_stat(job);
+  return stat != nullptr ? stat->gpus : std::vector<GpuId>{};
 }
 
 std::vector<JobId> Assignment::running_jobs() const {
+  // First-occurrence order over the slot array == ascending order of each
+  // job's lowest-numbered GPU (two jobs cannot share a GPU).
+  std::vector<const JobStat*> by_front;
+  by_front.reserve(jobs_.size());
+  for (const JobStat& s : jobs_) by_front.push_back(&s);
+  std::sort(by_front.begin(), by_front.end(),
+            [](const JobStat* a, const JobStat* b) {
+              return a->gpus.front() < b->gpus.front();
+            });
   std::vector<JobId> out;
-  std::unordered_set<JobId> seen;
-  for (const auto& s : slots_) {
-    if (s.occupied() && seen.insert(s.job).second) out.push_back(s.job);
-  }
+  out.reserve(by_front.size());
+  for (const JobStat* s : by_front) out.push_back(s->job);
   return out;
 }
 
-std::vector<GpuId> Assignment::idle_gpus() const {
-  std::vector<GpuId> out;
-  for (int g = 0; g < num_gpus(); ++g) {
-    if (!slots_[static_cast<std::size_t>(g)].occupied()) out.push_back(g);
-  }
-  return out;
-}
+std::vector<GpuId> Assignment::idle_gpus() const { return idle_; }
 
-int Assignment::idle_count() const {
-  int n = 0;
-  for (const auto& s : slots_) {
-    if (!s.occupied()) ++n;
+int Assignment::idle_count() const { return static_cast<int>(idle_.size()); }
+
+bool Assignment::same_placement(const Assignment& other, JobId job) const {
+  const JobStat* a = find_stat(job);
+  const JobStat* b = other.find_stat(job);
+  if ((a == nullptr) != (b == nullptr)) return false;
+  if (a == nullptr) return true;
+  if (a->gpus != b->gpus) return false;
+  for (const GpuId g : a->gpus) {
+    if (slots_[static_cast<std::size_t>(g)].local_batch !=
+        other.slots_[static_cast<std::size_t>(g)].local_batch) {
+      return false;
+    }
   }
-  return n;
+  return true;
 }
 
 std::string Assignment::to_string() const {
@@ -123,34 +202,61 @@ void Assignment::check_invariants() const {
   }
 }
 
+void Assignment::audit_indexes() const {
+  std::vector<GpuId> idle;
+  std::vector<JobStat> jobs;
+  for (int g = 0; g < num_gpus(); ++g) {
+    const Slot& s = slots_[static_cast<std::size_t>(g)];
+    if (!s.occupied()) {
+      idle.push_back(g);
+      continue;
+    }
+    const auto it = std::lower_bound(
+        jobs.begin(), jobs.end(), s.job,
+        [](const JobStat& a, JobId j) { return a.job < j; });
+    if (it == jobs.end() || it->job != s.job) {
+      jobs.insert(it, JobStat{s.job, s.local_batch, {g}});
+    } else {
+      it->global_batch += s.local_batch;
+      it->gpus.push_back(g);  // g ascending: stays sorted
+    }
+  }
+  ONES_EXPECT_MSG(idle == idle_, "idle-GPU index diverged from the slot array");
+  ONES_EXPECT_MSG(jobs.size() == jobs_.size(),
+                  "job index has the wrong number of entries");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ONES_EXPECT_MSG(jobs[i].job == jobs_[i].job, "job index diverged: wrong job");
+    ONES_EXPECT_MSG(jobs[i].global_batch == jobs_[i].global_batch,
+                    "job index diverged: stale global batch");
+    ONES_EXPECT_MSG(jobs[i].gpus == jobs_[i].gpus,
+                    "job index diverged: stale GPU list");
+  }
+}
+
 AssignmentDelta diff(const Assignment& prev, const Assignment& next) {
   ONES_EXPECT(prev.num_gpus() == next.num_gpus());
   AssignmentDelta d;
-  std::unordered_set<JobId> prev_jobs, next_jobs;
-  for (JobId j : prev.running_jobs()) prev_jobs.insert(j);
-  for (JobId j : next.running_jobs()) next_jobs.insert(j);
+  // Membership tests against id-sorted copies; output order still comes from
+  // running_jobs() (first-occurrence), exactly as before.
+  std::vector<JobId> prev_ids = prev.running_jobs();
+  std::vector<JobId> next_ids = next.running_jobs();
+  std::vector<JobId> prev_sorted = prev_ids;
+  std::vector<JobId> next_sorted = next_ids;
+  std::sort(prev_sorted.begin(), prev_sorted.end());
+  std::sort(next_sorted.begin(), next_sorted.end());
 
-  for (JobId j : next.running_jobs()) {
-    if (!prev_jobs.count(j)) {
+  for (const JobId j : next_ids) {
+    if (!std::binary_search(prev_sorted.begin(), prev_sorted.end(), j)) {
       d.started.push_back(j);
       continue;
     }
     // Same job on both sides: did its placement or batches change?
-    bool changed = false;
-    for (int g = 0; g < prev.num_gpus(); ++g) {
-      const auto& a = prev.slot(g);
-      const auto& b = next.slot(g);
-      const bool a_mine = a.job == j;
-      const bool b_mine = b.job == j;
-      if (a_mine != b_mine || (a_mine && a.local_batch != b.local_batch)) {
-        changed = true;
-        break;
-      }
-    }
-    (changed ? d.reconfigured : d.unchanged).push_back(j);
+    (prev.same_placement(next, j) ? d.unchanged : d.reconfigured).push_back(j);
   }
-  for (JobId j : prev.running_jobs()) {
-    if (!next_jobs.count(j)) d.stopped.push_back(j);
+  for (const JobId j : prev_ids) {
+    if (!std::binary_search(next_sorted.begin(), next_sorted.end(), j)) {
+      d.stopped.push_back(j);
+    }
   }
   return d;
 }

@@ -5,10 +5,17 @@
 // This type doubles as the *genome* of the evolutionary search (Figure 1):
 // the refresh / crossover / mutation / reorder operators all manipulate
 // Assignments directly.
+//
+// The per-GPU slot array stays the source of truth, but every derived view
+// (idle GPUs, per-job GPU lists, global batches) is answered from indexes
+// maintained incrementally by the mutators (DESIGN.md §12). The evolutionary
+// search calls idle_gpus / gpus_of / global_batch inside its per-candidate
+// loops, so O(G) rescans there are what made 10k-GPU clusters infeasible.
+// The indexes are flat sorted vectors — no unordered containers, so
+// iteration order is deterministic by construction (tools/ones_lint R2).
 #pragma once
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -59,7 +66,15 @@ class Assignment {
   std::vector<GpuId> idle_gpus() const;
   int idle_count() const;
 
-  bool operator==(const Assignment&) const = default;
+  /// True iff `job` occupies the same GPUs with the same local batches in
+  /// both schedules (also true when it is absent from both). This is the
+  /// per-job "did its configuration change" predicate the diff and the
+  /// evolutionary switching surcharge are built on; O(c_j), not O(G).
+  bool same_placement(const Assignment& other, JobId job) const;
+
+  /// Two schedules are equal iff their slot arrays are equal; the indexes
+  /// are a pure function of the slots, so they never need comparing.
+  bool operator==(const Assignment& other) const { return slots_ == other.slots_; }
 
   /// Compact human-readable rendering (for logs and examples):
   /// "[1:256 1:256 - 7:512]".
@@ -69,8 +84,34 @@ class Assignment {
   /// every idle slot has local_batch==0. Throws on violation.
   void check_invariants() const;
 
+  /// Audit mode (DESIGN.md §12): recompute every incremental index from the
+  /// slot array and throw (std::logic_error via ONES_EXPECT) on any
+  /// divergence. O(G log G); meant for tests and the driver's
+  /// `audit_incremental` flag, not for hot paths.
+  void audit_indexes() const;
+
  private:
+  /// Per-job index entry. `gpus` is ascending; `global_batch` is the sum of
+  /// the member slots' local batches.
+  struct JobStat {
+    JobId job = kInvalidJob;
+    int global_batch = 0;
+    std::vector<GpuId> gpus;
+  };
+
+  /// jobs_ position of `job`, or nullptr if it holds no GPU (binary search:
+  /// jobs_ is sorted by JobId).
+  const JobStat* find_stat(JobId job) const;
+  JobStat* find_stat(JobId job);
+  /// Add `gpu` (running `local_batch`) to the job's stat, creating it if the
+  /// job was not placed anywhere.
+  void attach(JobId job, GpuId gpu, int local_batch);
+  /// Remove `gpu` from the job's stat, dropping the stat when it empties.
+  void detach(JobId job, GpuId gpu, int local_batch);
+
   std::vector<Slot> slots_;
+  std::vector<GpuId> idle_;     ///< ascending
+  std::vector<JobStat> jobs_;   ///< ascending by JobId
 };
 
 /// Difference between two schedules, used to charge scaling costs only to

@@ -10,9 +10,9 @@
 namespace ones::core {
 
 const sched::JobView& EvolutionContext::view(JobId job) const {
-  auto it = by_id.find(job);
-  ONES_EXPECT_MSG(it != by_id.end(), "candidate references a job outside the state");
-  return *it->second;
+  const sched::JobView* v = state->job(job);
+  ONES_EXPECT_MSG(v != nullptr, "candidate references a job outside the state");
+  return *v;
 }
 
 double EvolutionContext::expected_remaining(const sched::JobView& job) const {
@@ -31,7 +31,6 @@ EvolutionContext make_context(const sched::ClusterState& state,
   ctx.state = &state;
   ctx.predictor = predictor;
   ctx.limits = limits;
-  for (const sched::JobView* j : state.jobs) ctx.by_id.emplace(j->spec.id, j);
   return ctx;
 }
 
@@ -69,8 +68,7 @@ int Evolution::effective_limit(const sched::JobView& job,
 
 RhoMap Evolution::sample_rho(const EvolutionContext& ctx) {
   RhoMap rho;
-  for (const sched::JobView* j : ctx.state->jobs) {
-    if (j->status == sched::JobStatus::Completed) continue;
+  for (const sched::JobView* j : ctx.state->active_jobs()) {
     if (ctx.predictor != nullptr) {
       const auto dist = ctx.predictor->predict(*j);
       rho[j->spec.id] = std::clamp(dist.sample(rng_), 1e-3, 1.0 - 1e-3);
@@ -83,8 +81,7 @@ RhoMap Evolution::sample_rho(const EvolutionContext& ctx) {
 
 RhoMap Evolution::mean_rho(const EvolutionContext& ctx) const {
   RhoMap rho;
-  for (const sched::JobView* j : ctx.state->jobs) {
-    if (j->status == sched::JobStatus::Completed) continue;
+  for (const sched::JobView* j : ctx.state->active_jobs()) {
     if (ctx.predictor != nullptr) {
       rho[j->spec.id] = std::clamp(ctx.predictor->predict(*j).mean(), 1e-3, 1.0 - 1e-3);
     } else {
@@ -128,18 +125,7 @@ double Evolution::score(const cluster::Assignment& candidate, const EvolutionCon
   for (JobId j : candidate.running_jobs()) {
     const auto& v = ctx.view(j);
     if (v.status != sched::JobStatus::Running) continue;  // resume charged below
-    bool changed = false;
-    for (int g = 0; g < live.num_gpus(); ++g) {
-      const auto& a = live.slot(g);
-      const auto& b = candidate.slot(g);
-      const bool a_mine = a.job == j;
-      const bool b_mine = b.job == j;
-      if (a_mine != b_mine || (a_mine && a.local_batch != b.local_batch)) {
-        changed = true;
-        break;
-      }
-    }
-    if (changed) {
+    if (!live.same_placement(candidate, j)) {
       total += config_.switch_penalty_s * static_cast<double>(candidate.gpu_count(j));
     }
   }
@@ -180,8 +166,8 @@ void Evolution::clamp_job(cluster::Assignment& candidate, JobId job,
 
 void Evolution::repair(cluster::Assignment& candidate, const EvolutionContext& ctx) {
   for (JobId j : candidate.running_jobs()) {
-    auto it = ctx.by_id.find(j);
-    if (it == ctx.by_id.end() || it->second->status == sched::JobStatus::Completed) {
+    const sched::JobView* v = ctx.state->job(j);
+    if (v == nullptr || v->status == sched::JobStatus::Completed) {
       candidate.evict(j);
     }
   }
@@ -204,8 +190,7 @@ void Evolution::fill_idle(cluster::Assignment& candidate, const EvolutionContext
     std::vector<double> weights;
 
     // Resume options: active jobs absent from this candidate start on one GPU.
-    for (const sched::JobView* v : ctx.state->jobs) {
-      if (v->status == sched::JobStatus::Completed) continue;
+    for (const sched::JobView* v : ctx.state->active_jobs()) {
       if (candidate.gpu_count(v->spec.id) > 0) continue;
       const double y = ctx.expected_remaining(*v);
       actions.push_back({true, v->spec.id});
@@ -299,8 +284,8 @@ void Evolution::fill_idle(cluster::Assignment& candidate, const EvolutionContext
 void Evolution::refresh(cluster::Assignment& candidate, const EvolutionContext& ctx) {
   // (1) Clean up GPUs of completed (or unknown) jobs.
   for (JobId j : candidate.running_jobs()) {
-    auto it = ctx.by_id.find(j);
-    if (it == ctx.by_id.end() || it->second->status == sched::JobStatus::Completed) {
+    const sched::JobView* v = ctx.state->job(j);
+    if (v == nullptr || v->status == sched::JobStatus::Completed) {
       candidate.evict(j);
     }
   }
@@ -330,8 +315,7 @@ void Evolution::refresh(cluster::Assignment& candidate, const EvolutionContext& 
   //     from this candidate): one GPU each; if the candidate lacks idle
   //     GPUs, take them from the jobs with the largest executed time.
   std::vector<const sched::JobView*> fresh;
-  for (const sched::JobView* v : ctx.state->jobs) {
-    if (v->status == sched::JobStatus::Completed) continue;
+  for (const sched::JobView* v : ctx.state->active_jobs()) {
     if (v->samples_processed > 0.0) continue;
     if (v->epochs_completed > 0) continue;
     if (candidate.gpu_count(v->spec.id) > 0) continue;
@@ -412,10 +396,7 @@ void Evolution::ensure_population(const EvolutionContext& ctx) {
   }
   population_.clear();
   population_.reserve(k);
-  std::vector<const sched::JobView*> active;
-  for (const sched::JobView* v : ctx.state->jobs) {
-    if (v->status != sched::JobStatus::Completed) active.push_back(v);
-  }
+  const std::vector<const sched::JobView*> active = ctx.state->active_jobs();
   for (std::size_t i = 0; i < k; ++i) {
     cluster::Assignment cand(n);
     if (!active.empty()) {

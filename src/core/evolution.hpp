@@ -66,9 +66,6 @@ struct EvolutionContext {
   /// nullptr = predictor ablation (constant rho = 1/2).
   const predict::ProgressPredictor* predictor = nullptr;
   const BatchLimitManager* limits = nullptr;
-  /// JobId -> view lookup (avoids linear scans in the hot scoring loop).
-  // ones-lint: unordered-ok(view() lookup by JobId only; traversal always uses state->jobs, which is arrival-ordered)
-  std::unordered_map<JobId, const sched::JobView*> by_id;
   /// Lazily-filled cache of expected remaining workloads (the predictor's
   /// Beta math is too costly to repeat per fill-loop iteration).
   // ones-lint: unordered-ok(memo keyed by JobId; values are order-independent pure functions of the job)

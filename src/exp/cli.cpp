@@ -13,7 +13,7 @@ namespace ones::exp {
 
 namespace {
 
-void print_usage(std::FILE* out, const char* prog) {
+void print_usage(std::FILE* out, const char* prog, const char* extra_usage) {
   std::fprintf(out,
                "usage: %s [--threads=N] [--seeds=K] [--no-cache] [--cache-dir=PATH]\n"
                "          [--trace-dir=PATH] [--metrics-dir=PATH] [--no-progress] [--help]\n"
@@ -25,6 +25,7 @@ void print_usage(std::FILE* out, const char* prog) {
                "  --metrics-dir=P write timeline CSV + Prometheus + JSON metrics per executed run\n"
                "  --no-progress   silence the stderr progress/ETA reporter\n",
                prog, default_threads());
+  if (extra_usage != nullptr) std::fputs(extra_usage, out);
 }
 
 /// Parse the integer value of "--flag=V"; exits on malformed or < min.
@@ -47,13 +48,19 @@ int default_threads() {
 }
 
 BenchOptions parse_bench_cli(int argc, char** argv) {
+  return parse_bench_cli(argc, argv, nullptr, nullptr);
+}
+
+BenchOptions parse_bench_cli(int argc, char** argv,
+                             const std::function<bool(const char*)>& extra,
+                             const char* extra_usage) {
   BenchOptions opt;
   opt.grid.threads = default_threads();
   const char* prog = argc > 0 ? argv[0] : "bench";
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      print_usage(stdout, prog);
+      print_usage(stdout, prog, extra_usage);
       std::exit(0);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       opt.grid.threads = parse_int_value(arg, arg + 10, 1, prog);
@@ -69,9 +76,11 @@ BenchOptions parse_bench_cli(int argc, char** argv) {
       opt.grid.metrics_dir = arg + 14;
     } else if (std::strcmp(arg, "--no-progress") == 0) {
       opt.grid.progress = false;
+    } else if (extra && extra(arg)) {
+      // consumed by the bench's own flag handler
     } else {
       std::fprintf(stderr, "%s: unknown flag '%s'\n", prog, arg);
-      print_usage(stderr, prog);
+      print_usage(stderr, prog, extra_usage);
       std::exit(2);
     }
   }

@@ -12,6 +12,8 @@
 // runs a 45-minute sweep with default settings.
 #pragma once
 
+#include <functional>
+
 #include "exp/orchestrator.hpp"
 
 namespace ones::exp {
@@ -30,6 +32,15 @@ int default_threads();
 /// `validate_output_dir`, so an unwritable path fails in milliseconds
 /// instead of after the first executed run.
 BenchOptions parse_bench_cli(int argc, char** argv);
+
+/// Like the two-argument overload, but a bench can claim extra flags of its
+/// own: `extra` is tried on every argument the shared parser does not
+/// recognize (return true = consumed), and `extra_usage` (nullable) is
+/// appended verbatim to the usage text. Used by fig17_scalability for
+/// `--scale=...`; other benches keep the strict unknown-flag exit(2).
+BenchOptions parse_bench_cli(int argc, char** argv,
+                             const std::function<bool(const char*)>& extra,
+                             const char* extra_usage);
 
 /// Ensure `dir` exists (creating it if needed) and is writable by creating
 /// and removing a probe file. On failure prints "<prog>: <flag> ..." to

@@ -41,6 +41,8 @@ RunResult run_simulation(const sched::SimulationConfig& config,
   r.queue_times = sim.metrics().queue_times();
   for (const auto& [id, jct] : sim.metrics().jct_by_job()) r.jct_by_job[id] = jct;
   r.completed = sim.completed_jobs();
+  r.events_fired = sim.events_fired();
+  r.deployments = sim.deployments();
   return r;
 }
 

@@ -83,7 +83,9 @@ std::string result_to_json(const RunResult& r) {
     first = false;
     os << '[' << id << ',' << json_double(jct) << ']';
   }
-  os << "],\"completed\":" << r.completed << '}';
+  os << "],\"completed\":" << r.completed;
+  os << ",\"events_fired\":" << r.events_fired;
+  os << ",\"deployments\":" << r.deployments << '}';
   return os.str();
 }
 
@@ -131,6 +133,8 @@ RunResult result_from_json(const std::string& json) {
         pair.array[1].number;
   }
   r.completed = static_cast<std::size_t>(read_number(doc, "completed"));
+  r.events_fired = static_cast<std::uint64_t>(read_number(doc, "events_fired"));
+  r.deployments = static_cast<std::uint64_t>(read_number(doc, "deployments"));
   return r;
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -20,6 +21,12 @@ struct RunResult {
   /// Per-job JCT, ordered by JobId (for paired significance tests).
   std::map<JobId, double> jct_by_job;
   std::size_t completed = 0;
+  /// Simulator events fired during the run — deterministic (part of the
+  /// result, serialized), so a cached replay reports the same count the
+  /// live run produced. Feeds the hyperscale events/sec curve.
+  std::uint64_t events_fired = 0;
+  /// Assignments the scheduler deployed (schedule churn / decisions).
+  std::uint64_t deployments = 0;
   /// True when the result was served from the cache (diagnostics only;
   /// not serialized).
   bool from_cache = false;

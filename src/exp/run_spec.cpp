@@ -96,6 +96,8 @@ std::string canonical_serialize(const RunSpec& spec) {
   put(os, "trace.poisson_arrivals", w.poisson_arrivals);
   put(os, "trace.abnormal_fraction", w.abnormal_fraction);
   put(os, "trace.abnormal_mean_lifetime_s", w.abnormal_mean_lifetime_s);
+  put(os, "trace.max_requested_gpus", w.max_requested_gpus);
+  put(os, "trace.diurnal_amplitude", w.diurnal_amplitude);
   return os.str();
 }
 

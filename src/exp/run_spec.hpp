@@ -31,7 +31,7 @@ using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>()>;
 
 /// Bump when the canonical serialization or the RunResult JSON layout
 /// changes; old cache entries then miss instead of deserializing garbage.
-inline constexpr int kCacheSchemaVersion = 2;
+inline constexpr int kCacheSchemaVersion = 3;
 
 struct RunSpec {
   /// Scheduler display name; part of the cache key.

@@ -11,6 +11,9 @@ std::optional<cluster::Assignment> FifoScheduler::on_event(const ClusterState& s
   cluster::Assignment next = *state.current;
   bool changed = false;
   for (const JobView* job : state.waiting_jobs()) {  // arrival order
+    // No free GPU means no placement can succeed for any queued job —
+    // identical decisions to trying (and failing) each one in turn.
+    if (next.idle_count() == 0) break;
     const auto gpus = pick_idle_gpus(next, *state.topology, job->spec.requested_gpus);
     if (gpus.empty()) {
       if (!backfill_) break;  // strict FIFO: head-of-line blocking

@@ -93,6 +93,13 @@ struct ClusterState {
   const cluster::Assignment* current = nullptr;
   /// All submitted jobs (any status), indexed by JobId order of arrival.
   std::vector<const JobView*> jobs;
+  /// Optional driver-maintained indexes (incremental scheduler state,
+  /// DESIGN.md §12). `active_index` holds the non-Completed subset of `jobs`
+  /// in the same arrival order; `id_index` holds all of `jobs` sorted by
+  /// JobId. When null (hand-built states in tests), every helper falls back
+  /// to scanning `jobs`, with identical results.
+  const std::vector<const JobView*>* active_index = nullptr;
+  const std::vector<const JobView*>* id_index = nullptr;
   const ThroughputOracle* oracle = nullptr;
   /// The driver's power model (DESIGN.md §10) — the same instance the
   /// EnergyMeter bills with, so energy-aware policies (ONES's lambda_energy

@@ -40,15 +40,26 @@ const char* event_name(EventKind kind) {
 }
 
 const JobView* ClusterState::job(JobId id) const {
+  if (id_index != nullptr) {
+    const auto it = std::lower_bound(
+        id_index->begin(), id_index->end(), id,
+        [](const JobView* j, JobId want) { return j->spec.id < want; });
+    return it != id_index->end() && (*it)->spec.id == id ? *it : nullptr;
+  }
   for (const JobView* j : jobs) {
     if (j->spec.id == id) return j;
   }
   return nullptr;
 }
 
+// The status filters below may scan `active_index` instead of `jobs`:
+// Completed jobs match none of them, and the index preserves arrival order,
+// so the outputs are element-for-element identical — only the scan skips the
+// (ever-growing) completed tail.
+
 std::vector<const JobView*> ClusterState::waiting_jobs() const {
   std::vector<const JobView*> out;
-  for (const JobView* j : jobs) {
+  for (const JobView* j : active_index != nullptr ? *active_index : jobs) {
     if (j->status == JobStatus::Waiting) out.push_back(j);
   }
   return out;
@@ -56,13 +67,14 @@ std::vector<const JobView*> ClusterState::waiting_jobs() const {
 
 std::vector<const JobView*> ClusterState::running_jobs() const {
   std::vector<const JobView*> out;
-  for (const JobView* j : jobs) {
+  for (const JobView* j : active_index != nullptr ? *active_index : jobs) {
     if (j->status == JobStatus::Running) out.push_back(j);
   }
   return out;
 }
 
 std::vector<const JobView*> ClusterState::active_jobs() const {
+  if (active_index != nullptr) return *active_index;
   std::vector<const JobView*> out;
   for (const JobView* j : jobs) {
     if (j->status != JobStatus::Completed) out.push_back(j);
@@ -101,6 +113,20 @@ ClusterSimulation::ClusterSimulation(const SimulationConfig& config,
   if (scheduler_.period_s() > 0.0) {
     engine_.schedule_after(scheduler_.period_s(), [this] { on_timer(); });
   }
+  // The snapshot handed to the scheduler is persistent: pointers and indexes
+  // are maintained at arrival/completion, so per-event refresh is O(1).
+  state_.topology = &topology_;
+  state_.current = &current_;
+  state_.oracle = &oracle_;
+  state_.power = &power_model_;
+  state_.active_index = &active_views_;
+  state_.id_index = &id_views_;
+  state_.jobs.reserve(trace_.size());
+  state_.true_remaining_samples = [this](JobId job, int batch) {
+    const auto& rt = runtime(job);
+    ONES_EXPECT(rt.dynamics != nullptr);
+    return rt.dynamics->oracle_remaining_samples(batch);
+  };
   if (config.trace_sink != nullptr) {
     trace_stamper_.emplace(*config.trace_sink);
     sink_ = &*trace_stamper_;
@@ -139,6 +165,12 @@ const ClusterSimulation::JobRuntime& ClusterSimulation::runtime(JobId job) const
 
 const JobView& ClusterSimulation::job_view(JobId job) const { return runtime(job).view; }
 
+void ClusterSimulation::drop_active(const JobView& view) {
+  const auto it = std::find(active_views_.begin(), active_views_.end(), &view);
+  ONES_EXPECT_MSG(it != active_views_.end(), "completed job missing from active index");
+  active_views_.erase(it);
+}
+
 telemetry::Summary ClusterSimulation::summary(const std::string& scheduler) const {
   auto s = telemetry::summarize(scheduler, metrics_, topology_.total_gpus());
   s.cluster_joules = energy_.cluster_joules();
@@ -146,23 +178,28 @@ telemetry::Summary ClusterSimulation::summary(const std::string& scheduler) cons
   return s;
 }
 
-ClusterState ClusterSimulation::make_state() const {
-  ClusterState s;
-  s.now = engine_.now();
-  s.topology = &topology_;
-  s.current = &current_;
-  s.oracle = &oracle_;
-  s.power = &power_model_;
-  s.jobs.reserve(arrived_order_.size());
-  for (JobId id : arrived_order_) {
-    s.jobs.push_back(&runtimes_.at(id).view);
+const ClusterState& ClusterSimulation::make_state() {
+  state_.now = engine_.now();
+  return state_;
+}
+
+void ClusterSimulation::audit_state() const {
+  current_.audit_indexes();
+  ONES_EXPECT_MSG(state_.jobs.size() == arrived_order_.size(),
+                  "snapshot job list out of sync with arrivals");
+  std::vector<const JobView*> active;
+  for (std::size_t i = 0; i < arrived_order_.size(); ++i) {
+    const JobView& v = runtimes_.at(arrived_order_[i]).view;
+    ONES_EXPECT_MSG(state_.jobs[i] == &v, "snapshot job list out of arrival order");
+    if (v.status != JobStatus::Completed) active.push_back(&v);
   }
-  s.true_remaining_samples = [this](JobId job, int batch) {
-    const auto& rt = runtime(job);
-    ONES_EXPECT(rt.dynamics != nullptr);
-    return rt.dynamics->oracle_remaining_samples(batch);
-  };
-  return s;
+  ONES_EXPECT_MSG(active == active_views_, "active-job index diverged from runtimes");
+  ONES_EXPECT_MSG(id_views_.size() == arrived_order_.size(),
+                  "id index out of sync with arrivals");
+  for (std::size_t i = 1; i < id_views_.size(); ++i) {
+    ONES_EXPECT_MSG(id_views_[i - 1]->spec.id < id_views_[i]->spec.id,
+                    "id index not strictly sorted");
+  }
 }
 
 void ClusterSimulation::run() {
@@ -194,10 +231,13 @@ void ClusterSimulation::run() {
                    << "' left work stranded or hit the time limit";
   }
   if (sink_ != nullptr) {
+    // "truncated" tells the replayer this run was cut off (time box / max
+    // sim time) rather than drained, so end-of-stream invariants that only
+    // hold for finished runs (I7 closed pause brackets) are not enforced.
     sink_->on_record({.kind = trace::RecordKind::RunEnd,
                       .t = engine_.now(),
                       .count = completed_count_,
-                      .detail = ""});
+                      .detail = all_completed() ? "" : "truncated"});
   }
 }
 
@@ -222,8 +262,8 @@ void ClusterSimulation::sample_cluster_metrics() {
   if (registry_ == nullptr) return;
   const double now = engine_.now();
   double waiting = 0.0;
-  for (JobId id : arrived_order_) {
-    if (runtimes_.at(id).view.status == JobStatus::Waiting) waiting += 1.0;
+  for (const JobView* v : active_views_) {  // Completed jobs are never Waiting
+    if (v->status == JobStatus::Waiting) waiting += 1.0;
   }
   const double busy = static_cast<double>(topology_.total_gpus() - current_.idle_count());
   registry_->gauge("sim_queue_depth").set(waiting);
@@ -281,6 +321,13 @@ void ClusterSimulation::on_arrival(JobId job) {
       *rt.view.profile, rt.view.spec.variant.dataset_size, config_.convergence,
       rt.view.spec.dynamics_seed);
   arrived_order_.push_back(job);
+  state_.jobs.push_back(&rt.view);
+  active_views_.push_back(&rt.view);
+  id_views_.insert(std::lower_bound(id_views_.begin(), id_views_.end(), job,
+                                    [](const JobView* v, JobId want) {
+                                      return v->spec.id < want;
+                                    }),
+                   &rt.view);
   metrics_.on_submit(job, engine_.now());
   if (registry_ != nullptr) {
     registry_->counter("sim_jobs_submitted_total").add();
@@ -320,6 +367,7 @@ void ClusterSimulation::on_kill_event(JobId job) {
     rt.resume_event = 0;
   }
   rt.view.status = JobStatus::Completed;
+  drop_active(rt.view);
   rt.view.aborted = true;
   rt.view.gpus = 0;
   rt.view.global_batch = 0;
@@ -385,7 +433,7 @@ void ClusterSimulation::notify(EventKind kind, JobId job) {
                       .detail = event_name(kind)});
   }
   in_notify_ = true;
-  const ClusterState state = make_state();
+  const ClusterState& state = make_state();
   // Wall-clock is allowed here ONLY because the decision histogram is
   // Host-scope: stderr diagnostics, never exported to a file or fed back
   // into any simulated quantity.
@@ -408,6 +456,7 @@ void ClusterSimulation::notify(EventKind kind, JobId job) {
   if (next.has_value()) {
     apply(std::move(*next));
   }
+  if (config_.audit_incremental) audit_state();
 }
 
 void ClusterSimulation::validate(const cluster::Assignment& next) const {
@@ -633,6 +682,7 @@ void ClusterSimulation::complete_job(JobId job, double now) {
     rt.resume_event = 0;
   }
   rt.view.status = JobStatus::Completed;
+  drop_active(rt.view);
   rt.view.gpus = 0;
   rt.view.global_batch = 0;
   metrics_.on_run_end(job, now, /*preempted=*/false);

@@ -44,6 +44,13 @@ struct SimulationConfig {
   energy::PowerConfig power;
   /// Hard stop; a correct run finishes long before (all jobs complete).
   double max_sim_time_s = 1e7;
+  /// Audit mode (DESIGN.md §12): after every scheduler notification,
+  /// recompute all incremental indexes (Assignment's idle/per-job stats, the
+  /// driver's active/id job indexes) from first principles and throw on any
+  /// divergence. Pure cross-check — it must never change results — so like
+  /// the trace/metrics sinks it is deliberately NOT an orchestrator
+  /// cache-key input. O(G + J) per event: tests only.
+  bool audit_incremental = false;
   /// Keep per-epoch logs in the JobViews (needed by ONES and Optimus).
   bool record_epoch_logs = true;
   /// Structured run tracing (not owned; null — the default — disables it and
@@ -83,6 +90,9 @@ class ClusterSimulation {
   double now() const { return engine_.now(); }
   /// Number of Assignments the scheduler deployed (schedule churn).
   std::uint64_t deployments() const { return deployments_; }
+  /// Total simulator events fired (the engine's counter): the deterministic
+  /// work measure behind the hyperscale throughput curve (DESIGN.md §12).
+  std::uint64_t events_fired() const { return engine_.fired(); }
 
  private:
   struct JobRuntime {
@@ -122,7 +132,14 @@ class ClusterSimulation {
 
   JobRuntime& runtime(JobId job);
   const JobRuntime& runtime(JobId job) const;
-  ClusterState make_state() const;
+  /// Refresh the persistent snapshot (clock only — the job lists and indexes
+  /// are maintained incrementally at arrival/completion) and hand it out.
+  const ClusterState& make_state();
+  /// SimulationConfig::audit_incremental: recompute every incremental index
+  /// from first principles and throw on divergence.
+  void audit_state() const;
+  /// Remove a job that just completed from the active-job index.
+  void drop_active(const JobView& view);
 
   SimulationConfig config_;
   std::vector<workload::JobSpec> trace_;
@@ -140,6 +157,13 @@ class ClusterSimulation {
   // ones-lint: unordered-ok(keyed lookup via runtime() only; every traversal goes through arrived_order_, which fixes iteration to arrival order)
   std::unordered_map<JobId, JobRuntime> runtimes_;
   std::vector<JobId> arrived_order_;
+  /// Persistent scheduler snapshot (DESIGN.md §12). `state_.jobs` grows at
+  /// arrival; `active_views_` (arrival order) also shrinks at completion and
+  /// `id_views_` keeps all views sorted by JobId. JobView pointers are
+  /// stable: runtimes_ is node-based and never erased from.
+  ClusterState state_;
+  std::vector<const JobView*> active_views_;
+  std::vector<const JobView*> id_views_;
   std::size_t completed_count_ = 0;
   std::uint64_t deployments_ = 0;
   bool in_notify_ = false;

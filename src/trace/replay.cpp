@@ -180,6 +180,7 @@ class Checker {
         flush_txn();
         if (saw_run_end_) issue("duplicate run_end");
         saw_run_end_ = true;
+        truncated_ = r.detail == "truncated";
         // I8: totals.
         if (r.count != completed_) {
           issue("run_end reports " + std::to_string(r.count) + " finished jobs, trace has " +
@@ -351,9 +352,14 @@ class Checker {
       return;
     }
     if (!saw_run_end_) issue("trace has no run_end");
-    for (const auto& [id, js] : jobs_) {
-      if (js.paused) {
-        issue("job " + std::to_string(id) + " left inside an unclosed pause bracket");
+    // I7 end-of-stream: a run that was cut off mid-flight (run_end tagged
+    // "truncated" by the driver) legitimately leaves jobs inside
+    // reconfiguration pauses; a drained run must not.
+    if (!truncated_) {
+      for (const auto& [id, js] : jobs_) {
+        if (js.paused) {
+          issue("job " + std::to_string(id) + " left inside an unclosed pause bracket");
+        }
       }
     }
   }
@@ -366,6 +372,7 @@ class Checker {
   int total_gpus_ = 0;
   int occupied_ = 0;
   bool saw_run_end_ = false;
+  bool truncated_ = false;
   std::size_t completed_ = 0;
   struct PendingClaim {
     GpuId gpu;

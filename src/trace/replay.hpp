@@ -24,7 +24,9 @@
 //   I7  pause bracketing: every job_reconfigured is announced by an
 //       elastic_paused; the bracket closes only via elastic_resumed,
 //       job_preempted or job_completed; a paused job makes no training
-//       progress (no epoch sim_event) until the bracket closes.
+//       progress (no epoch sim_event) until the bracket closes. At end of
+//       stream, open brackets are defects only for drained runs — a run_end
+//       tagged "truncated" (time-boxed run) may end mid-bracket.
 //   I8  totals: run_end's finished count equals the job_completed records
 //       seen, and a fully-finished run leaves every GPU free.
 #pragma once

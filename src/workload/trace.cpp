@@ -1,6 +1,7 @@
 #include "workload/trace.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/expect.hpp"
@@ -59,6 +60,9 @@ const std::vector<WorkloadVariant>& table2_variants() {
 std::vector<JobSpec> generate_trace(const TraceConfig& config) {
   ONES_EXPECT(config.num_jobs > 0);
   ONES_EXPECT(config.mean_interarrival_s > 0.0);
+  ONES_EXPECT_MSG(config.max_requested_gpus == 4 || config.max_requested_gpus == 8,
+                  "max_requested_gpus must be 4 (paper mix) or 8 (hyperscale mix)");
+  ONES_EXPECT(config.diurnal_amplitude >= 0.0 && config.diurnal_amplitude < 1.0);
 
   Rng rng(config.seed);
   const auto& variants = table2_variants();
@@ -68,8 +72,14 @@ std::vector<JobSpec> generate_trace(const TraceConfig& config) {
   double t = 0.0;
   for (int i = 0; i < config.num_jobs; ++i) {
     if (i > 0) {
-      t += config.poisson_arrivals ? rng.exponential(1.0 / config.mean_interarrival_s)
-                                   : config.mean_interarrival_s;
+      double gap = config.poisson_arrivals ? rng.exponential(1.0 / config.mean_interarrival_s)
+                                           : config.mean_interarrival_s;
+      if (config.diurnal_amplitude > 0.0) {
+        constexpr double kDayS = 86400.0;
+        constexpr double kTwoPi = 6.283185307179586;
+        gap /= 1.0 + config.diurnal_amplitude * std::sin(kTwoPi * t / kDayS);
+      }
+      t += gap;
     }
     JobSpec spec;
     spec.id = i;
@@ -78,7 +88,10 @@ std::vector<JobSpec> generate_trace(const TraceConfig& config) {
     spec.arrival_time_s = t;
 
     // Production DL traces are dominated by small jobs; weight {1,2,4} GPUs.
-    const std::size_t pick = rng.weighted_index({0.5, 0.3, 0.2});
+    // The hyperscale mix adds an 8-GPU class with a heavier big-job tail.
+    const std::size_t pick = config.max_requested_gpus == 8
+                                 ? rng.weighted_index({0.4, 0.3, 0.2, 0.1})
+                                 : rng.weighted_index({0.5, 0.3, 0.2});
     spec.requested_gpus = 1 << pick;
 
     // Users commonly submit a fixed *local* batch, so the requested global

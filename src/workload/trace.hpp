@@ -63,6 +63,21 @@ struct TraceConfig {
   double abnormal_fraction = 0.0;
   /// Mean time-to-kill (exponential) for abnormal jobs, from submission.
   double abnormal_mean_lifetime_s = 300.0;
+
+  // ---- Hyperscale generator extensions ----
+  // Defaults reproduce the paper-scale trace byte-for-byte AND consume the
+  // identical RNG stream (every non-default path is gated, never a no-op
+  // multiply), so existing seeds keep their traces.
+
+  /// Largest requested gang size. 4 = the paper's {1,2,4} GPUs weighted
+  /// {0.5,0.3,0.2}; 8 adds a large-job class: {1,2,4,8} weighted
+  /// {0.4,0.3,0.2,0.1} (production clusters see a heavier big-job tail).
+  int max_requested_gpus = 4;
+  /// Day/night arrival-rate modulation amplitude in [0, 1): the drawn
+  /// inter-arrival gap is divided by 1 + A*sin(2*pi*t/86400), so the
+  /// instantaneous rate swings between (1-A)x and (1+A)x the base rate over
+  /// a 24 h period (rate-modulated renewal process). 0 = homogeneous.
+  double diurnal_amplitude = 0.0;
 };
 
 /// Draw a trace: variants sampled uniformly from Table 2, arrivals from a

@@ -88,6 +88,8 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.queue_times, b.queue_times);
   EXPECT_EQ(a.jct_by_job, b.jct_by_job);
   EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  EXPECT_EQ(a.deployments, b.deployments);
 }
 
 class TempCacheDir {
@@ -294,6 +296,8 @@ TEST(ExpJson, ResultRoundTripsExactly) {
   r.queue_times = {};
   r.jct_by_job = {{0, 1.25}, {7, 3.75}};
   r.completed = 3;
+  r.events_fired = 123456789;
+  r.deployments = 42;
 
   const auto back = result_from_json(result_to_json(r));
   expect_identical(r, back);

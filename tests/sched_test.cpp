@@ -4,7 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "core/ones_scheduler.hpp"
+#include "drl/drl_scheduler.hpp"
 #include "sched/fifo.hpp"
 #include "sched/optimus.hpp"
 #include "sched/oracle.hpp"
@@ -348,6 +354,78 @@ TEST(Simulation, BackfillFifoNeverWorseOnUtilization) {
     backfill_makespan = sim.metrics().makespan();
   }
   EXPECT_LE(backfill_makespan, strict_makespan * 1.05);
+}
+
+// Incremental-vs-rescan audit (DESIGN.md §12): with audit_incremental set,
+// the driver recomputes every incremental index (Assignment's idle/per-job
+// stats, the active/id job indexes) from first principles after every
+// scheduler notification and throws on divergence. Exercising all six
+// policies covers every mutation pattern — FIFO's monotone placement,
+// SRTF/Tiresias preemption churn, Optimus's periodic timer reshuffles,
+// DRL's action decoding, and ONES's evolutionary full-schedule swaps.
+// The audit must also never change results.
+TEST(Simulation, IncrementalIndexesSurviveAuditAcrossAllSchedulers) {
+  struct Policy {
+    std::string name;
+    std::function<std::unique_ptr<Scheduler>()> make;
+  };
+  const std::vector<Policy> policies = {
+      {"ONES", [] { return std::make_unique<core::OnesScheduler>(); }},
+      {"DRL", [] { return std::make_unique<drl::DrlScheduler>(); }},
+      {"Tiresias", [] { return std::make_unique<TiresiasScheduler>(); }},
+      {"Optimus", [] { return std::make_unique<OptimusScheduler>(); }},
+      {"FIFO-BF", [] { return std::make_unique<FifoScheduler>(true); }},
+      {"SRTF", [] { return std::make_unique<SrtfOracleScheduler>(); }},
+  };
+  // Contended trace (more requested GPUs than the cluster holds at once) so
+  // every policy actually preempts / reshuffles instead of placing once.
+  const auto trace = workload::generate_trace(small_trace_config(12, 23));
+  for (const Policy& p : policies) {
+    SCOPED_TRACE(p.name);
+    telemetry::Summary plain, audited;
+    {
+      auto sched = p.make();
+      ClusterSimulation sim(small_sim_config(), trace, *sched);
+      sim.run();
+      plain = sim.summary(p.name);
+    }
+    {
+      auto sched = p.make();
+      auto config = small_sim_config();
+      config.audit_incremental = true;
+      ClusterSimulation sim(config, trace, *sched);
+      sim.run();
+      audited = sim.summary(p.name);
+    }
+    EXPECT_DOUBLE_EQ(plain.avg_jct, audited.avg_jct);
+    EXPECT_DOUBLE_EQ(plain.makespan, audited.makespan);
+    EXPECT_DOUBLE_EQ(plain.utilization, audited.utilization);
+    EXPECT_DOUBLE_EQ(plain.cluster_joules, audited.cluster_joules);
+  }
+}
+
+// The audit must catch real divergence: corrupting an index is not directly
+// reachable through the public API (that is the point), so instead verify
+// the Assignment-level audit entry point accepts a freshly-mutated schedule
+// after every kind of mutation.
+TEST(Assignment, AuditAcceptsEveryMutationPattern) {
+  cluster::Assignment a(8);
+  a.audit_indexes();
+  a.place(3, 7, 32);
+  a.place(4, 7, 32);
+  a.place(0, 2, 16);
+  a.audit_indexes();
+  a.place(3, 2, 8);  // steal an occupied GPU for another job
+  a.audit_indexes();
+  a.set_local_batch(4, 64);
+  a.audit_indexes();
+  a.clear(0);
+  a.audit_indexes();
+  EXPECT_EQ(a.evict(7), 1);  // GPU 3 was stolen above; only GPU 4 remains
+  a.audit_indexes();
+  EXPECT_EQ(a.idle_count(), 7);
+  EXPECT_EQ(a.gpu_count(2), 1);
+  EXPECT_EQ(a.global_batch(2), 8);
 }
 
 }  // namespace

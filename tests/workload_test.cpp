@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "common/math_util.hpp"
 #include "model/task.hpp"
@@ -145,6 +147,94 @@ TEST(Trace, DrawsFromManyVariants) {
     variants.insert(spec.variant.model_name + "/" + spec.variant.dataset);
   }
   EXPECT_GT(variants.size(), 40u);  // most of the 50 variants appear
+}
+
+// The hyperscale extensions are RNG-gated: a config with the new fields left
+// at their defaults must reproduce the pre-extension trace byte-for-byte.
+TEST(Trace, HyperscaleDefaultsPreserveRngStream) {
+  TraceConfig base;
+  base.num_jobs = 100;
+  base.seed = 77;
+  base.abnormal_fraction = 0.1;
+  const auto a = generate_trace(base);
+
+  TraceConfig explicit_defaults = base;
+  explicit_defaults.max_requested_gpus = 4;   // already the default
+  explicit_defaults.diurnal_amplitude = 0.0;  // already the default
+  const auto b = generate_trace(explicit_defaults);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_time_s, b[i].arrival_time_s) << i;
+    EXPECT_EQ(a[i].variant.dataset, b[i].variant.dataset) << i;
+    EXPECT_EQ(a[i].requested_gpus, b[i].requested_gpus) << i;
+    EXPECT_EQ(a[i].requested_batch, b[i].requested_batch) << i;
+    EXPECT_DOUBLE_EQ(a[i].kill_after_s, b[i].kill_after_s) << i;
+  }
+}
+
+TEST(Trace, EightGpuClassAppearsOnlyInHyperscaleMix) {
+  TraceConfig c;
+  c.num_jobs = 400;
+  c.seed = 5;
+  c.max_requested_gpus = 8;
+  const auto trace = generate_trace(c);
+  int eights = 0;
+  for (const auto& spec : trace) {
+    EXPECT_TRUE(spec.requested_gpus == 1 || spec.requested_gpus == 2 ||
+                spec.requested_gpus == 4 || spec.requested_gpus == 8);
+    const auto& p = model::profile_by_name(spec.variant.model_name);
+    EXPECT_LE(ceil_div(spec.requested_batch, spec.requested_gpus), p.max_local_batch);
+    if (spec.requested_gpus == 8) ++eights;
+  }
+  // Weight 0.1 of 400 jobs: expect a healthy number of 8-GPU gangs.
+  EXPECT_GT(eights, 10);
+  EXPECT_LT(eights, 100);
+}
+
+TEST(Trace, DiurnalModulationKeepsArrivalsMonotone) {
+  TraceConfig c;
+  c.num_jobs = 2000;
+  c.seed = 13;
+  c.mean_interarrival_s = 120.0;
+  c.diurnal_amplitude = 0.6;
+  const auto trace = generate_trace(c);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].arrival_time_s, trace[i - 1].arrival_time_s);
+  }
+  // The long-run mean rate is only modulated, not shifted: the span should
+  // stay within a factor ~2 of the homogeneous expectation.
+  const double span = trace.back().arrival_time_s;
+  const double expect_span = c.mean_interarrival_s * (c.num_jobs - 1);
+  EXPECT_GT(span, 0.4 * expect_span);
+  EXPECT_LT(span, 2.5 * expect_span);
+}
+
+TEST(Trace, DiurnalRateActuallyVariesByTimeOfDay) {
+  TraceConfig c;
+  c.num_jobs = 5000;
+  c.seed = 21;
+  c.mean_interarrival_s = 60.0;
+  c.diurnal_amplitude = 0.8;
+  const auto trace = generate_trace(c);
+  // Bucket arrivals by half-day phase: the "fast" half-period (sin > 0)
+  // should receive clearly more jobs than the "slow" one.
+  int fast = 0, slow = 0;
+  for (const auto& spec : trace) {
+    const double phase = std::fmod(spec.arrival_time_s, 86400.0);
+    (phase < 43200.0 ? fast : slow)++;
+  }
+  EXPECT_GT(fast, slow + slow / 2);
+}
+
+TEST(Trace, RejectsInvalidHyperscaleConfig) {
+  TraceConfig c;
+  c.num_jobs = 4;
+  c.max_requested_gpus = 16;
+  EXPECT_THROW(generate_trace(c), std::logic_error);
+  c.max_requested_gpus = 4;
+  c.diurnal_amplitude = 1.0;
+  EXPECT_THROW(generate_trace(c), std::logic_error);
 }
 
 TEST(Trace, FormatTable2MentionsEveryModel) {
