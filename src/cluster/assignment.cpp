@@ -26,6 +26,15 @@ void erase_sorted(std::vector<T>& v, T value) {
 
 }  // namespace
 
+const char* to_string(SlotHealth h) {
+  switch (h) {
+    case SlotHealth::Healthy: return "healthy";
+    case SlotHealth::Failed: return "failed";
+    case SlotHealth::Reclaimed: return "reclaimed";
+  }
+  return "?";
+}
+
 Assignment::Assignment(int num_gpus) : slots_(static_cast<std::size_t>(num_gpus)) {
   ONES_EXPECT(num_gpus >= 0);
   idle_.resize(static_cast<std::size_t>(num_gpus));
@@ -76,6 +85,7 @@ void Assignment::place(GpuId gpu, JobId job, int local_batch) {
   ONES_EXPECT_MSG(job != kInvalidJob, "cannot place the invalid job");
   ONES_EXPECT_MSG(local_batch >= 1, "a worker needs at least one sample per step");
   Slot& s = slots_[static_cast<std::size_t>(gpu)];
+  ONES_EXPECT_MSG(s.healthy(), "cannot place a worker on a down GPU");
   if (s.occupied()) {
     if (s.job == job) {
       // Same job, possibly a new batch: only the batch sum moves.
@@ -87,7 +97,7 @@ void Assignment::place(GpuId gpu, JobId job, int local_batch) {
   } else {
     erase_sorted(idle_, gpu);
   }
-  s = Slot{job, local_batch};
+  s = Slot{job, local_batch, s.health};
   attach(job, gpu, local_batch);
 }
 
@@ -96,8 +106,8 @@ void Assignment::clear(GpuId gpu) {
   Slot& s = slots_[static_cast<std::size_t>(gpu)];
   if (!s.occupied()) return;
   detach(s.job, gpu, s.local_batch);
-  insert_sorted(idle_, gpu);
-  s = Slot{};
+  if (s.healthy()) insert_sorted(idle_, gpu);
+  s = Slot{kInvalidJob, 0, s.health};
 }
 
 int Assignment::evict(JobId job) {
@@ -106,8 +116,9 @@ int Assignment::evict(JobId job) {
   const int freed = static_cast<int>(stat->gpus.size());
   const std::size_t old_idle = idle_.size();
   for (const GpuId g : stat->gpus) {
-    slots_[static_cast<std::size_t>(g)] = Slot{};
-    idle_.push_back(g);
+    Slot& s = slots_[static_cast<std::size_t>(g)];
+    if (s.healthy()) idle_.push_back(g);
+    s = Slot{kInvalidJob, 0, s.health};
   }
   // Both halves are ascending: one merge instead of c_j binary inserts.
   std::inplace_merge(idle_.begin(),
@@ -115,6 +126,54 @@ int Assignment::evict(JobId job) {
                      idle_.end());
   jobs_.erase(jobs_.begin() + (stat - jobs_.data()));
   return freed;
+}
+
+void Assignment::set_health(GpuId gpu, SlotHealth health) {
+  ONES_EXPECT(gpu >= 0 && gpu < num_gpus());
+  Slot& s = slots_[static_cast<std::size_t>(gpu)];
+  if (s.health == health) return;
+  const bool was_healthy = s.healthy();
+  s.health = health;
+  if (was_healthy && !s.healthy()) {
+    insert_sorted(down_, gpu);
+    if (!s.occupied()) erase_sorted(idle_, gpu);
+  } else if (!was_healthy && s.healthy()) {
+    erase_sorted(down_, gpu);
+    if (!s.occupied()) insert_sorted(idle_, gpu);
+  }
+  // Failed <-> Reclaimed: membership in both indexes is unchanged.
+}
+
+SlotHealth Assignment::health(GpuId gpu) const {
+  ONES_EXPECT(gpu >= 0 && gpu < num_gpus());
+  return slots_[static_cast<std::size_t>(gpu)].health;
+}
+
+int Assignment::healthy_count() const {
+  return num_gpus() - static_cast<int>(down_.size());
+}
+
+void Assignment::sync_health(const Assignment& from) {
+  ONES_EXPECT(num_gpus() == from.num_gpus());
+  // Only GPUs down on either side can differ; walk the union of both down
+  // lists instead of all G slots.
+  std::vector<GpuId> touched;
+  touched.reserve(down_.size() + from.down_.size());
+  std::set_union(down_.begin(), down_.end(), from.down_.begin(),
+                 from.down_.end(), std::back_inserter(touched));
+  for (const GpuId g : touched) {
+    const SlotHealth target = from.slots_[static_cast<std::size_t>(g)].health;
+    const Slot& s = slots_[static_cast<std::size_t>(g)];
+    if (s.health == target) continue;
+    if (target != SlotHealth::Healthy && s.occupied()) clear(g);
+    set_health(g, target);
+  }
+}
+
+Assignment Assignment::empty_like(const Assignment& a) {
+  Assignment out(a.num_gpus());
+  for (const GpuId g : a.down_) out.set_health(g, a.health(g));
+  return out;
 }
 
 void Assignment::set_local_batch(GpuId gpu, int local_batch) {
@@ -187,6 +246,8 @@ std::string Assignment::to_string() const {
     } else {
       os << "-";
     }
+    if (s.health == SlotHealth::Failed) os << "!";
+    if (s.health == SlotHealth::Reclaimed) os << "~";
   }
   os << "]";
   return os.str();
@@ -204,11 +265,13 @@ void Assignment::check_invariants() const {
 
 void Assignment::audit_indexes() const {
   std::vector<GpuId> idle;
+  std::vector<GpuId> down;
   std::vector<JobStat> jobs;
   for (int g = 0; g < num_gpus(); ++g) {
     const Slot& s = slots_[static_cast<std::size_t>(g)];
+    if (!s.healthy()) down.push_back(g);
     if (!s.occupied()) {
-      idle.push_back(g);
+      if (s.healthy()) idle.push_back(g);
       continue;
     }
     const auto it = std::lower_bound(
@@ -222,6 +285,7 @@ void Assignment::audit_indexes() const {
     }
   }
   ONES_EXPECT_MSG(idle == idle_, "idle-GPU index diverged from the slot array");
+  ONES_EXPECT_MSG(down == down_, "down-GPU index diverged from the slot array");
   ONES_EXPECT_MSG(jobs.size() == jobs_.size(),
                   "job index has the wrong number of entries");
   for (std::size_t i = 0; i < jobs.size(); ++i) {

@@ -15,6 +15,7 @@
 // iteration order is deterministic by construction (tools/ones_lint R2).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,12 +23,22 @@
 
 namespace ones::cluster {
 
+/// Health of a GPU slot (DESIGN.md §13). Only Healthy GPUs are placeable;
+/// Failed covers hardware faults and node crashes, Reclaimed covers spot
+/// capacity taken back by the provider. The distinction is cosmetic to the
+/// schedulers (both mask the GPU) but kept for telemetry and traces.
+enum class SlotHealth : std::uint8_t { Healthy = 0, Failed = 1, Reclaimed = 2 };
+
+const char* to_string(SlotHealth h);
+
 /// Per-GPU gene: which job runs on this device and with what local batch.
 struct Slot {
   JobId job = kInvalidJob;
   int local_batch = 0;
+  SlotHealth health = SlotHealth::Healthy;
 
   bool occupied() const { return job != kInvalidJob; }
+  bool healthy() const { return health == SlotHealth::Healthy; }
   bool operator==(const Slot&) const = default;
 };
 
@@ -52,6 +63,31 @@ class Assignment {
   /// Change the local batch on a GPU already running `job`.
   void set_local_batch(GpuId gpu, int local_batch);
 
+  // ---- Health (DESIGN.md §13) ----
+
+  /// Change a GPU's health. An unoccupied GPU leaves/rejoins the idle index
+  /// as it sickens/heals; an occupied GPU keeps its worker — routing that
+  /// worker into recovery is the driver's job (`place` refuses unhealthy
+  /// GPUs, so the transient occupied-but-down state can only arise here).
+  void set_health(GpuId gpu, SlotHealth health);
+
+  SlotHealth health(GpuId gpu) const;
+  /// Number of Healthy GPUs (occupied or not).
+  int healthy_count() const;
+  /// GPUs whose health is not Healthy, in ascending GPU order.
+  const std::vector<GpuId>& unhealthy_gpus() const { return down_; }
+
+  /// Copy `from`'s per-GPU health states onto this assignment (same size).
+  /// A slot here that is occupied but newly unhealthy is cleared first, so
+  /// the result never places a worker on a down GPU. Used to refresh cached
+  /// genomes (the evolutionary population) against the live cluster.
+  void sync_health(const Assignment& from);
+
+  /// An empty (all-idle) assignment with the same size and health map as
+  /// `a` — the health-aware replacement for `Assignment(a.num_gpus())` when
+  /// building candidate schedules from scratch.
+  static Assignment empty_like(const Assignment& a);
+
   // ---- Derived views (Eq. 2) ----
 
   /// Global batch size B_j (0 if the job is not placed).
@@ -62,7 +98,8 @@ class Assignment {
   std::vector<GpuId> gpus_of(JobId job) const;
   /// Jobs with at least one worker, in first-occurrence order.
   std::vector<JobId> running_jobs() const;
-  /// GPUs with no worker.
+  /// Healthy GPUs with no worker (down GPUs are never idle: schedulers read
+  /// capacity exclusively through this index, which is what masks them).
   std::vector<GpuId> idle_gpus() const;
   int idle_count() const;
 
@@ -110,7 +147,8 @@ class Assignment {
   void detach(JobId job, GpuId gpu, int local_batch);
 
   std::vector<Slot> slots_;
-  std::vector<GpuId> idle_;     ///< ascending
+  std::vector<GpuId> idle_;     ///< ascending; healthy AND unoccupied only
+  std::vector<GpuId> down_;     ///< ascending; health != Healthy
   std::vector<JobStat> jobs_;   ///< ascending by JobId
 };
 

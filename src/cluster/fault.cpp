@@ -1,0 +1,148 @@
+#include "cluster/fault.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace ones::cluster {
+
+namespace {
+
+constexpr int kGpuKind = 0;
+constexpr int kNodeKind = 1;
+constexpr int kReclaimKind = 2;
+
+/// Seed for the (kind, entity) process stream: mixed through splitmix64 by
+/// the Rng constructor, so consecutive entities get decorrelated streams.
+std::uint64_t stream_seed(std::uint64_t root, int kind, int entity) {
+  return root + 0x100000001b3ULL * static_cast<std::uint64_t>(kind) +
+         0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(entity + 1);
+}
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  ONES_EXPECT_MSG(gpu_mtbf_s >= 0.0 && node_mtbf_s >= 0.0 && reclaim_mtbf_s >= 0.0,
+                  "fault MTBFs must be non-negative");
+  ONES_EXPECT_MSG(spot_fraction >= 0.0 && spot_fraction <= 1.0,
+                  "spot_fraction must lie in [0, 1]");
+  if (gpu_mtbf_s > 0.0) ONES_EXPECT_MSG(gpu_repair_s > 0.0, "gpu_repair_s must be > 0");
+  if (node_mtbf_s > 0.0) ONES_EXPECT_MSG(node_repair_s > 0.0, "node_repair_s must be > 0");
+  if (reclaim_mtbf_s > 0.0) {
+    ONES_EXPECT_MSG(reclaim_return_s > 0.0, "reclaim_return_s must be > 0");
+  }
+  ONES_EXPECT_MSG(checkpoint_interval_s > 0.0, "checkpoint_interval_s must be > 0");
+  ONES_EXPECT_MSG(retry_backoff_s >= 0.0, "retry_backoff_s must be non-negative");
+  ONES_EXPECT_MSG(max_restarts >= 0, "max_restarts must be non-negative");
+}
+
+int spot_node_count(const FaultConfig& config, int num_nodes) {
+  return static_cast<int>(std::floor(config.spot_fraction * num_nodes + 1e-9));
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, const Topology& topology)
+    : config_(config), topology_(topology) {
+  config_.validate();
+  const int gpus = topology_.total_gpus();
+  const int nodes = topology_.num_nodes();
+  spot_nodes_ = spot_node_count(config_, nodes);
+  effective_.assign(static_cast<std::size_t>(gpus), SlotHealth::Healthy);
+
+  auto make = [&](int kind, int entity, double mtbf, double repair) {
+    Process p{Rng(stream_seed(config_.seed, kind, entity)), 0.0, 0.0, false, 0};
+    if (mtbf > 0.0) {
+      p.up_rate = 1.0 / mtbf;
+      p.down_rate = 1.0 / repair;
+    }
+    return p;
+  };
+  gpu_.reserve(static_cast<std::size_t>(gpus));
+  for (int g = 0; g < gpus; ++g) {
+    gpu_.push_back(make(kGpuKind, g, config_.gpu_mtbf_s, config_.gpu_repair_s));
+  }
+  node_.reserve(static_cast<std::size_t>(nodes));
+  reclaim_.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    node_.push_back(make(kNodeKind, n, config_.node_mtbf_s, config_.node_repair_s));
+    const bool spot = n >= nodes - spot_nodes_;
+    reclaim_.push_back(make(kReclaimKind, n,
+                            spot ? config_.reclaim_mtbf_s : 0.0,
+                            config_.reclaim_return_s));
+  }
+}
+
+void FaultInjector::start(sim::SimEngine& engine, HealthHook hook) {
+  ONES_EXPECT_MSG(engine_ == nullptr, "FaultInjector::start called twice");
+  engine_ = &engine;
+  hook_ = std::move(hook);
+  for (int g = 0; g < static_cast<int>(gpu_.size()); ++g) {
+    arm(gpu_[static_cast<std::size_t>(g)], kGpuKind, g);
+  }
+  for (int n = 0; n < static_cast<int>(node_.size()); ++n) {
+    arm(node_[static_cast<std::size_t>(n)], kNodeKind, n);
+    arm(reclaim_[static_cast<std::size_t>(n)], kReclaimKind, n);
+  }
+}
+
+void FaultInjector::halt() {
+  if (engine_ == nullptr) return;
+  auto disarm = [&](Process& p) {
+    if (p.pending != 0) {
+      engine_->cancel(p.pending);
+      p.pending = 0;
+    }
+  };
+  for (auto& p : gpu_) disarm(p);
+  for (auto& p : node_) disarm(p);
+  for (auto& p : reclaim_) disarm(p);
+}
+
+SlotHealth FaultInjector::health(GpuId gpu) const {
+  const auto n = static_cast<std::size_t>(topology_.node_of(gpu));
+  if (gpu_[static_cast<std::size_t>(gpu)].down || node_[n].down) {
+    return SlotHealth::Failed;
+  }
+  if (reclaim_[n].down) return SlotHealth::Reclaimed;
+  return SlotHealth::Healthy;
+}
+
+void FaultInjector::arm(Process& p, int kind, int entity) {
+  if (p.up_rate <= 0.0) return;  // process disabled
+  const double rate = p.down ? p.down_rate : p.up_rate;
+  const double delay = p.rng.exponential(rate);
+  p.pending = engine_->schedule_after(delay, [this, kind, entity] {
+    toggle(kind, entity);
+  });
+}
+
+void FaultInjector::toggle(int kind, int entity) {
+  auto& family = kind == kGpuKind ? gpu_ : kind == kNodeKind ? node_ : reclaim_;
+  Process& p = family[static_cast<std::size_t>(entity)];
+  p.pending = 0;
+  p.down = !p.down;
+  if (p.down) {
+    if (kind == kGpuKind) ++gpu_faults_;
+    if (kind == kNodeKind) ++node_crashes_;
+    if (kind == kReclaimKind) ++reclaims_;
+  } else {
+    ++repairs_;
+  }
+  std::vector<HealthChange> changes;
+  if (kind == kGpuKind) {
+    refresh_gpu(entity, changes);
+  } else {
+    for (const GpuId g : topology_.gpus_of(entity)) refresh_gpu(g, changes);
+  }
+  arm(p, kind, entity);
+  if (!changes.empty() && hook_) hook_(changes);
+}
+
+void FaultInjector::refresh_gpu(GpuId gpu, std::vector<HealthChange>& changes) {
+  const SlotHealth now = health(gpu);
+  SlotHealth& last = effective_[static_cast<std::size_t>(gpu)];
+  if (now == last) return;
+  last = now;
+  changes.push_back({gpu, now});
+}
+
+}  // namespace ones::cluster

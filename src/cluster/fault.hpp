@@ -1,0 +1,152 @@
+// Deterministic GPU fault injection (DESIGN.md §13).
+//
+// Three independent families of on/off Markov processes perturb the
+// cluster's capacity:
+//   * per-GPU transient faults   (ECC storms, XID errors)   -> Failed
+//   * per-node crashes           (host reboot, fabric loss) -> Failed
+//   * per-spot-node reclaims     (preemptible capacity)     -> Reclaimed
+// Each process alternates exponentially distributed up and down intervals
+// drawn from its OWN `ones::Rng` stream (seeded from FaultConfig::seed and
+// the process identity), so the fault schedule for a given config is a pure
+// function of the seed — independent of thread count, scheduler choice and
+// everything else happening in the simulation. A GPU's effective health is
+// the AND of the three processes covering it: Failed if its GPU or node
+// process is down, else Reclaimed if its node's reclaim process is down,
+// else Healthy.
+//
+// The injector only decides WHEN capacity changes; the driver
+// (`sched::ClusterSimulation`) owns what happens next: masking the GPU out
+// of the idle index, shrinking or checkpoint-restarting the victim jobs,
+// and emitting GpuFailed/GpuRepaired trace records.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/assignment.hpp"
+#include "cluster/topology.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace ones::cluster {
+
+/// Fault model + recovery policy knobs. A cache-key input (schema v4): every
+/// field participates in `exp::canonical_serialize`. All-defaults means
+/// `enabled() == false` and the simulation is bit-identical to a build
+/// without the subsystem.
+struct FaultConfig {
+  /// Root seed for every fault process stream.
+  std::uint64_t seed = 9021;
+
+  /// Mean time between transient faults per GPU (seconds); 0 disables.
+  double gpu_mtbf_s = 0.0;
+  /// Mean repair time of a transient GPU fault.
+  double gpu_repair_s = 120.0;
+
+  /// Mean time between crashes per node; 0 disables.
+  double node_mtbf_s = 0.0;
+  /// Mean node repair (reboot) time.
+  double node_repair_s = 600.0;
+
+  /// Fraction of nodes that are spot/preemptible capacity (the tail of the
+  /// node id range, so the set is a pure function of the topology).
+  double spot_fraction = 0.0;
+  /// Mean time until a spot node is reclaimed; 0 disables reclaims.
+  double reclaim_mtbf_s = 0.0;
+  /// Mean time until reclaimed capacity returns.
+  double reclaim_return_s = 900.0;
+
+  // ---- Recovery policy (consumed by the driver) ----
+
+  /// Jobs checkpoint every this many seconds of progress; work since the
+  /// last checkpoint is lost on a full restart.
+  double checkpoint_interval_s = 600.0;
+  /// Base of the exponential redeployment backoff: retry k (1-based) waits
+  /// retry_backoff_s * 2^(k-1) before asking for capacity again.
+  double retry_backoff_s = 30.0;
+  /// Restart attempts per job before it aborts (lost work accounted).
+  int max_restarts = 4;
+
+  bool enabled() const {
+    return gpu_mtbf_s > 0.0 || node_mtbf_s > 0.0 ||
+           (reclaim_mtbf_s > 0.0 && spot_fraction > 0.0);
+  }
+
+  /// Throws std::logic_error on non-sensical values (negative rates,
+  /// spot_fraction outside [0,1], enabled process with repair time <= 0).
+  void validate() const;
+};
+
+/// Number of spot nodes implied by `spot_fraction` (rounded down); spot
+/// nodes are the tail [num_nodes - spot, num_nodes) of the id range.
+int spot_node_count(const FaultConfig& config, int num_nodes);
+
+/// One GPU's effective health changing (batched per fault event).
+struct HealthChange {
+  GpuId gpu = -1;
+  SlotHealth health = SlotHealth::Healthy;
+};
+
+class FaultInjector {
+ public:
+  /// Callback invoked once per fault event with every GPU whose effective
+  /// health changed (ascending GPU order), so a node crash that takes four
+  /// GPUs from one job surfaces as ONE capacity change, not four.
+  using HealthHook = std::function<void(const std::vector<HealthChange>&)>;
+
+  FaultInjector(const FaultConfig& config, const Topology& topology);
+
+  /// Schedule the first transition of every enabled process on `engine` and
+  /// route health changes into `hook`. Call at most once.
+  void start(sim::SimEngine& engine, HealthHook hook);
+
+  /// Cancel all pending transitions (used when the workload completes, so
+  /// an otherwise-idle simulation does not keep firing fault events until
+  /// the time horizon).
+  void halt();
+
+  /// Effective health of a GPU right now.
+  SlotHealth health(GpuId gpu) const;
+
+  // Lifetime counters (telemetry / bench output).
+  std::uint64_t gpu_faults() const { return gpu_faults_; }
+  std::uint64_t node_crashes() const { return node_crashes_; }
+  std::uint64_t reclaims() const { return reclaims_; }
+  std::uint64_t repairs() const { return repairs_; }
+
+ private:
+  /// One on/off process: its own rng stream, current phase and pending
+  /// engine event.
+  struct Process {
+    Rng rng;
+    double up_rate = 0.0;    ///< 1 / MTBF
+    double down_rate = 0.0;  ///< 1 / mean repair
+    bool down = false;
+    sim::EventId pending = 0;
+  };
+
+  void arm(Process& p, int kind, int entity);
+  void toggle(int kind, int entity);
+  /// Re-derive the effective health of `gpu` from the three process states
+  /// and append to `changes` if it moved.
+  void refresh_gpu(GpuId gpu, std::vector<HealthChange>& changes);
+
+  const FaultConfig config_;
+  const Topology& topology_;
+  sim::SimEngine* engine_ = nullptr;
+  HealthHook hook_;
+
+  std::vector<Process> gpu_;      ///< one per GPU (transient faults)
+  std::vector<Process> node_;     ///< one per node (crashes)
+  std::vector<Process> reclaim_;  ///< one per node (spot nodes only armed)
+  int spot_nodes_ = 0;
+  std::vector<SlotHealth> effective_;  ///< last health reported per GPU
+
+  std::uint64_t gpu_faults_ = 0;
+  std::uint64_t node_crashes_ = 0;
+  std::uint64_t reclaims_ = 0;
+  std::uint64_t repairs_ = 0;
+};
+
+}  // namespace ones::cluster

@@ -21,7 +21,8 @@ AnnealingScheduler::AnnealingScheduler(const AnnealingConfig& config)
 bool AnnealingScheduler::update_condition(const sched::ClusterState& state,
                                           const sched::SchedulerEvent& event) const {
   if (event.kind == sched::EventKind::JobComplete ||
-      event.kind == sched::EventKind::JobArrival) {
+      event.kind == sched::EventKind::JobArrival ||
+      event.kind == sched::EventKind::CapacityChange) {
     return true;
   }
   if (state.current->idle_count() > 0 && !state.waiting_jobs().empty()) return true;
@@ -50,6 +51,8 @@ std::optional<cluster::Assignment> AnnealingScheduler::on_event(
     }
     case sched::EventKind::Timer:
       break;
+    case sched::EventKind::CapacityChange:
+      break;  // the incumbent is re-copied from the live (masked) schedule
   }
 
   const EvolutionContext ctx =

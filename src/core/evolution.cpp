@@ -321,7 +321,8 @@ void Evolution::refresh(cluster::Assignment& candidate, const EvolutionContext& 
     if (candidate.gpu_count(v->spec.id) > 0) continue;
     fresh.push_back(v);
   }
-  const int want = std::min<int>(static_cast<int>(fresh.size()), candidate.num_gpus());
+  const int want =
+      std::min<int>(static_cast<int>(fresh.size()), candidate.healthy_count());
   while (candidate.idle_count() < want) {
     // Victim: the candidate job with the largest T_processed.
     JobId victim = kInvalidJob;
@@ -354,7 +355,10 @@ void Evolution::refresh(cluster::Assignment& candidate, const EvolutionContext& 
 std::pair<cluster::Assignment, cluster::Assignment> Evolution::crossover(
     const cluster::Assignment& a, const cluster::Assignment& b) {
   ONES_EXPECT(a.num_gpus() == b.num_gpus());
-  cluster::Assignment c1(a.num_gpus()), c2(a.num_gpus());
+  // Children inherit the parents' health map; the parents never occupy a
+  // down GPU, so neither inherited gene can land on one.
+  cluster::Assignment c1 = cluster::Assignment::empty_like(a);
+  cluster::Assignment c2 = cluster::Assignment::empty_like(a);
   for (int g = 0; g < a.num_gpus(); ++g) {
     const auto& sa = a.slot(g);
     const auto& sb = b.slot(g);
@@ -377,10 +381,12 @@ void Evolution::mutate(cluster::Assignment& candidate, const EvolutionContext& c
 }
 
 cluster::Assignment Evolution::reorder(const cluster::Assignment& candidate) {
-  cluster::Assignment packed(candidate.num_gpus());
+  cluster::Assignment packed = cluster::Assignment::empty_like(candidate);
   int next = 0;
   for (JobId j : candidate.running_jobs()) {  // first-occurrence order
     for (GpuId g : candidate.gpus_of(j)) {
+      // Pack onto the healthy GPUs in ascending order.
+      while (!packed.slot(next).healthy()) ++next;
       packed.place(next++, j, candidate.slot(g).local_batch);
     }
   }
@@ -398,10 +404,11 @@ void Evolution::ensure_population(const EvolutionContext& ctx) {
   population_.reserve(k);
   const std::vector<const sched::JobView*> active = ctx.state->active_jobs();
   for (std::size_t i = 0; i < k; ++i) {
-    cluster::Assignment cand(n);
+    cluster::Assignment cand = cluster::Assignment::empty_like(*ctx.state->current);
     if (!active.empty()) {
-      // The paper's simple initialization: a random job on each GPU.
+      // The paper's simple initialization: a random job on each healthy GPU.
       for (int g = 0; g < n; ++g) {
+        if (!cand.slot(g).healthy()) continue;
         const auto* v = active[static_cast<std::size_t>(
             rng_.uniform_int(0, static_cast<std::int64_t>(active.size()) - 1))];
         cand.place(g, v->spec.id, 1);
@@ -419,8 +426,10 @@ void Evolution::step(const EvolutionContext& ctx) {
   std::uint64_t crossovers = 0, mutations = 0, reorders = 0;
 
   // Refresh the whole population against real-time status (elitism: the
-  // refreshed originals compete with their offspring).
+  // refreshed originals compete with their offspring). Health first: cached
+  // genomes may predate a failure/repair (DESIGN.md §13).
   for (auto& cand : population_) {
+    cand.sync_health(*ctx.state->current);
     refresh(cand, ctx);
     if (config_.use_reorder) {
       cand = reorder(cand);
@@ -509,7 +518,10 @@ void Evolution::step(const EvolutionContext& ctx) {
 
 cluster::Assignment Evolution::best(const EvolutionContext& ctx) {
   ensure_population(ctx);
-  for (auto& cand : population_) refresh(cand, ctx);
+  for (auto& cand : population_) {
+    cand.sync_health(*ctx.state->current);
+    refresh(cand, ctx);
+  }
   const RhoMap rho = mean_rho(ctx);
   std::size_t best_i = 0;
   double best_s = std::numeric_limits<double>::infinity();

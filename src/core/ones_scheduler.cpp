@@ -16,7 +16,8 @@ bool OnesScheduler::update_condition(const sched::ClusterState& state,
   // jobs must not wait for the per-epoch pacing (§2.1's critique of
   // interval-based schedulers).
   if (event.kind == sched::EventKind::JobComplete ||
-      event.kind == sched::EventKind::JobArrival) {
+      event.kind == sched::EventKind::JobArrival ||
+      event.kind == sched::EventKind::CapacityChange) {
     return true;
   }
   if (state.current->idle_count() > 0 && !state.waiting_jobs().empty()) {
@@ -70,6 +71,8 @@ std::optional<cluster::Assignment> OnesScheduler::on_event(
     }
     case sched::EventKind::Timer:
       break;
+    case sched::EventKind::CapacityChange:
+      break;  // no per-job bookkeeping; the search sees the new health map
   }
 
   const EvolutionContext ctx = make_context(

@@ -52,6 +52,11 @@ struct ScalingReport {
   double blocked_s = 0.0;
   /// End-to-end session time including the overlapped background init.
   double total_s = 0.0;
+  /// Workers reported dead mid-session via ScalingSession::on_worker_lost.
+  int workers_lost = 0;
+  /// True when every target worker died and the session gave up (the driver
+  /// then falls back to checkpoint-restart, DESIGN.md §13).
+  bool rolled_back = false;
   std::vector<std::string> timeline;  ///< human-readable event log
 };
 
@@ -68,12 +73,37 @@ struct ScalingRequest {
 /// invokes `on_done` with the report when the session completes.
 class ScalingSession {
  public:
+  /// Where the session currently is; worker loss is handled per phase.
+  enum class SessionPhase {
+    Pending,       ///< constructed, start() not yet called
+    Init,          ///< new workers initializing in the background
+    Draining,      ///< previous workers finishing their in-flight step
+    Reconnecting,  ///< workers joining the new topology
+    Receiving,     ///< parameter broadcast in flight
+    Done,          ///< on_done fired with a successful report
+    RolledBack,    ///< every target worker died; on_done fired, rolled_back
+  };
+
   ScalingSession(sim::SimEngine& engine, const model::TaskProfile& profile,
                  const cluster::Topology& topology, const CostConfig& costs,
                  ScalingRequest request, std::function<void(const ScalingReport&)> on_done);
 
   /// Kick off the protocol (schedules the first events).
   void start();
+
+  /// A worker died mid-session (GPU fault / node crash / reclaim). The
+  /// session converges deterministically on the survivors:
+  ///   * Pending/Init/Draining — the dead worker is dropped from the target;
+  ///     later stages are costed from the surviving set at stage entry.
+  ///   * Reconnecting/Receiving — the in-flight stage is cancelled and the
+  ///     survivors re-form the topology (a fresh reconnect, then broadcast).
+  ///   * If no target worker survives, the session rolls back: on_done fires
+  ///     immediately with rolled_back = true (blocked time accounted).
+  /// Losing a worker that is in neither worker set (or after the session
+  /// finished) is a no-op.
+  void on_worker_lost(GpuId gpu);
+
+  SessionPhase phase() const { return phase_; }
 
   /// Optional milestone hook, invoked at every timeline entry with the
   /// simulated time and message. The `trace` module adapts this into
@@ -94,8 +124,10 @@ class ScalingSession {
   void log_event(const std::string& what);
   void on_new_workers_ready();
   void on_previous_drained();
+  void begin_reconnect();
   void on_reconnected();
   void on_broadcast_done();
+  void roll_back();
 
   sim::SimEngine& engine_;
   const model::TaskProfile& profile_;
@@ -108,6 +140,8 @@ class ScalingSession {
   ScalingReport report_;
   std::vector<GpuId> added_;
   std::vector<GpuId> kept_;
+  SessionPhase phase_ = SessionPhase::Pending;
+  sim::EventId pending_ = 0;  ///< the in-flight stage's engine event
 };
 
 /// Simulates a checkpoint-based migration of the same request: stop, save to

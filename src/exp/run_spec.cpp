@@ -86,6 +86,21 @@ std::string canonical_serialize(const RunSpec& spec) {
   put(os, "power.node_base_w", p.node_base_w);
   put(os, "power.comm_power_fraction", p.comm_power_fraction);
 
+  // Fault injection moves every metric, so the whole config is key material
+  // (DESIGN.md §13). Schema v4.
+  const auto& f = spec.sim.fault;
+  put(os, "fault.seed", f.seed);
+  put(os, "fault.gpu_mtbf_s", f.gpu_mtbf_s);
+  put(os, "fault.gpu_repair_s", f.gpu_repair_s);
+  put(os, "fault.node_mtbf_s", f.node_mtbf_s);
+  put(os, "fault.node_repair_s", f.node_repair_s);
+  put(os, "fault.spot_fraction", f.spot_fraction);
+  put(os, "fault.reclaim_mtbf_s", f.reclaim_mtbf_s);
+  put(os, "fault.reclaim_return_s", f.reclaim_return_s);
+  put(os, "fault.checkpoint_interval_s", f.checkpoint_interval_s);
+  put(os, "fault.retry_backoff_s", f.retry_backoff_s);
+  put(os, "fault.max_restarts", f.max_restarts);
+
   put(os, "sim.max_sim_time_s", spec.sim.max_sim_time_s);
   put(os, "sim.record_epoch_logs", spec.sim.record_epoch_logs);
 

@@ -31,7 +31,8 @@ using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>()>;
 
 /// Bump when the canonical serialization or the RunResult JSON layout
 /// changes; old cache entries then miss instead of deserializing garbage.
-inline constexpr int kCacheSchemaVersion = 3;
+/// v4: fault-injection config (SimulationConfig::fault) joined the key.
+inline constexpr int kCacheSchemaVersion = 4;
 
 struct RunSpec {
   /// Scheduler display name; part of the cache key.

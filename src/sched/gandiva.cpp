@@ -44,7 +44,7 @@ std::optional<cluster::Assignment> GandivaScheduler::on_event(const ClusterState
   // the rest; expired jobs re-enter only if space remains (they rotate out
   // when others are starving).
   std::vector<const JobView*> selected;
-  int capacity = state.topology->total_gpus();
+  int capacity = state.current->healthy_count();
   auto take = [&](const std::vector<Cand>& pool) {
     for (const Cand& c : pool) {
       if (c.job->spec.requested_gpus <= capacity) {
@@ -71,7 +71,7 @@ std::optional<cluster::Assignment> GandivaScheduler::on_event(const ClusterState
     if (same) return std::nullopt;
   }
 
-  cluster::Assignment next(state.topology->total_gpus());
+  cluster::Assignment next = cluster::Assignment::empty_like(*state.current);
   for (const JobView* j : selected) {
     if (j->status == JobStatus::Running) {
       for (GpuId g : state.current->gpus_of(j->spec.id)) {

@@ -75,7 +75,7 @@ std::optional<cluster::Assignment> OptimusScheduler::on_event(const ClusterState
     if (ta != tb) return ta < tb;
     return a.job->spec.id < b.job->spec.id;
   });
-  int capacity = state.topology->total_gpus();
+  int capacity = state.current->healthy_count();
   for (Cand& c : cands) {
     if (c.min_workers <= capacity) {
       c.workers = c.min_workers;
@@ -115,7 +115,7 @@ std::optional<cluster::Assignment> OptimusScheduler::on_event(const ClusterState
   }
   if (same && scheduled == state.current->running_jobs().size()) return std::nullopt;
 
-  cluster::Assignment next(state.topology->total_gpus());
+  cluster::Assignment next = cluster::Assignment::empty_like(*state.current);
   for (const Cand& c : cands) {
     if (c.workers > 0 && c.job->status == JobStatus::Running && c.job->gpus == c.workers) {
       for (GpuId g : state.current->gpus_of(c.job->spec.id)) {

@@ -28,7 +28,11 @@ class PowerModel;
 
 namespace ones::sched {
 
-enum class JobStatus { Waiting, Running, Completed };
+/// Recovering: the job lost its workers to a failure and sits out a backoff
+/// window before rejoining the queue (DESIGN.md §13). Schedulers do not see
+/// Recovering jobs in waiting_jobs(); placing one anyway is allowed and
+/// simply ends the backoff early.
+enum class JobStatus { Waiting, Running, Completed, Recovering };
 
 const char* status_name(JobStatus status);
 
@@ -77,7 +81,10 @@ struct JobView {
 
 class ThroughputOracle;
 
-enum class EventKind { JobArrival, EpochComplete, JobComplete, Timer };
+/// CapacityChange: healthy capacity moved under the scheduler (a GPU went
+/// down or came back, or a recovering job rejoined the queue). Delivered
+/// with the victim job when the change is job-scoped, kInvalidJob otherwise.
+enum class EventKind { JobArrival, EpochComplete, JobComplete, Timer, CapacityChange };
 
 const char* event_name(EventKind kind);
 

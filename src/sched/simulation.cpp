@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "cluster/fragmentation.hpp"
 #include "common/expect.hpp"
@@ -18,6 +19,12 @@ namespace {
 const std::vector<double> kDecisionHostBounds = {1e-6, 1e-5, 1e-4, 1e-3,
                                                  1e-2, 1e-1, 1.0};
 
+/// Sim-time seconds from failure to the recovered job producing again.
+const std::vector<double> kRecoveryLatencyBounds = {1.0,   10.0,  30.0,  60.0,
+                                                    120.0, 300.0, 600.0, 1800.0};
+/// Cumulative checkpoint-restarts a job has suffered when it restarts again.
+const std::vector<double> kRetryDepthBounds = {1.0, 2.0, 3.0, 4.0, 6.0, 8.0};
+
 }  // namespace
 
 const char* status_name(JobStatus status) {
@@ -25,6 +32,7 @@ const char* status_name(JobStatus status) {
     case JobStatus::Waiting: return "waiting";
     case JobStatus::Running: return "running";
     case JobStatus::Completed: return "completed";
+    case JobStatus::Recovering: return "recovering";
   }
   return "?";
 }
@@ -35,6 +43,7 @@ const char* event_name(EventKind kind) {
     case EventKind::EpochComplete: return "epoch";
     case EventKind::JobComplete: return "complete";
     case EventKind::Timer: return "timer";
+    case EventKind::CapacityChange: return "capacity";
   }
   return "?";
 }
@@ -113,6 +122,14 @@ ClusterSimulation::ClusterSimulation(const SimulationConfig& config,
   if (scheduler_.period_s() > 0.0) {
     engine_.schedule_after(scheduler_.period_s(), [this] { on_timer(); });
   }
+  if (config_.fault.enabled()) {
+    injector_ = std::make_unique<cluster::FaultInjector>(config_.fault, topology_);
+    injector_->start(engine_, [this](const std::vector<cluster::HealthChange>& changes) {
+      on_health_changes(changes);
+    });
+  } else {
+    config_.fault.validate();  // reject nonsense knobs even when disabled
+  }
   // The snapshot handed to the scheduler is persistent: pointers and indexes
   // are maintained at arrival/completion, so per-event refresh is O(1).
   state_.topology = &topology_;
@@ -185,6 +202,16 @@ const ClusterState& ClusterSimulation::make_state() {
 
 void ClusterSimulation::audit_state() const {
   current_.audit_indexes();
+  if (injector_ != nullptr) {
+    for (GpuId g = 0; g < topology_.total_gpus(); ++g) {
+      ONES_EXPECT_MSG(current_.health(g) == injector_->health(g),
+                      "live health map diverged from the fault injector");
+    }
+    for (const GpuId g : current_.unhealthy_gpus()) {
+      ONES_EXPECT_MSG(!current_.slot(g).occupied(),
+                      "down GPU still occupied after recovery (I9)");
+    }
+  }
   ONES_EXPECT_MSG(state_.jobs.size() == arrived_order_.size(),
                   "snapshot job list out of sync with arrivals");
   std::vector<const JobView*> active;
@@ -252,8 +279,16 @@ double ClusterSimulation::actual_tput(JobId job, const cluster::Assignment& assi
   return model::throughput_sps(*rt.view.profile, batches, link);
 }
 
+int ClusterSimulation::busy_gpus() const {
+  int busy = topology_.total_gpus() - current_.idle_count();
+  for (const GpuId g : current_.unhealthy_gpus()) {
+    if (!current_.slot(g).occupied()) --busy;
+  }
+  return busy;
+}
+
 void ClusterSimulation::update_busy() {
-  metrics_.on_busy_gpus(topology_.total_gpus() - current_.idle_count(), engine_.now());
+  metrics_.on_busy_gpus(busy_gpus(), engine_.now());
   energy_.on_assignment(current_, engine_.now());
   sample_cluster_metrics();
 }
@@ -265,7 +300,7 @@ void ClusterSimulation::sample_cluster_metrics() {
   for (const JobView* v : active_views_) {  // Completed jobs are never Waiting
     if (v->status == JobStatus::Waiting) waiting += 1.0;
   }
-  const double busy = static_cast<double>(topology_.total_gpus() - current_.idle_count());
+  const double busy = static_cast<double>(busy_gpus());
   registry_->gauge("sim_queue_depth").set(waiting);
   registry_->gauge("sim_busy_gpus").set(busy);
   registry_->gauge("sim_pending_events").set(static_cast<double>(engine_.pending()));
@@ -312,6 +347,11 @@ void ClusterSimulation::accrue(JobId job, double now) {
   }
   rt.view.samples_processed = rt.dynamics->samples_processed();
   rt.view.exec_time_s += now - from;  // time on GPUs while producing
+  if (registry_ != nullptr) {
+    // Productive GPU-seconds; fault_lost_gpu_seconds_total is its complement.
+    registry_->counter("sim_goodput_gpu_seconds_total")
+        .add((now - from) * static_cast<double>(rt.view.gpus));
+  }
 }
 
 void ClusterSimulation::on_arrival(JobId job) {
@@ -366,6 +406,10 @@ void ClusterSimulation::on_kill_event(JobId job) {
     engine_.cancel(rt.resume_event);
     rt.resume_event = 0;
   }
+  if (rt.retry_event != 0) {
+    engine_.cancel(rt.retry_event);  // killed while waiting out a recovery backoff
+    rt.retry_event = 0;
+  }
   rt.view.status = JobStatus::Completed;
   drop_active(rt.view);
   rt.view.aborted = true;
@@ -374,6 +418,7 @@ void ClusterSimulation::on_kill_event(JobId job) {
   rt.tput_sps = 0.0;
   metrics_.on_abort(job, now);
   ++completed_count_;
+  maybe_halt_faults();
   if (registry_ != nullptr) {
     registry_->counter("sim_jobs_aborted_total").add();
     record_batch_point(job);
@@ -393,6 +438,236 @@ void ClusterSimulation::on_timer() {
   notify(EventKind::Timer, kInvalidJob);
   if (completed_count_ < trace_.size()) {
     engine_.schedule_after(scheduler_.period_s(), [this] { on_timer(); });
+  }
+}
+
+void ClusterSimulation::maybe_halt_faults() {
+  if (injector_ != nullptr && completed_count_ == trace_.size()) injector_->halt();
+}
+
+void ClusterSimulation::on_health_changes(
+    const std::vector<cluster::HealthChange>& changes) {
+  const double now = engine_.now();
+  // Partition by new health (for the trace records) and find the victims —
+  // jobs occupying a GPU that just went down — before mutating anything.
+  std::vector<GpuId> failed, reclaimed, healed;
+  std::vector<JobId> victims;
+  for (const auto& ch : changes) {
+    switch (ch.health) {
+      case cluster::SlotHealth::Failed: failed.push_back(ch.gpu); break;
+      case cluster::SlotHealth::Reclaimed: reclaimed.push_back(ch.gpu); break;
+      case cluster::SlotHealth::Healthy: healed.push_back(ch.gpu); break;
+    }
+    if (ch.health != cluster::SlotHealth::Healthy) {
+      const auto& s = current_.slot(ch.gpu);
+      if (s.occupied()) victims.push_back(s.job);
+    }
+    current_.set_health(ch.gpu, ch.health);
+  }
+  std::sort(victims.begin(), victims.end());
+  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+
+  if (registry_ != nullptr) {
+    if (!failed.empty() || !reclaimed.empty()) {
+      registry_->counter("fault_gpu_down_total")
+          .add(static_cast<double>(failed.size() + reclaimed.size()));
+    }
+    if (!healed.empty()) {
+      registry_->counter("fault_gpu_up_total").add(static_cast<double>(healed.size()));
+    }
+    registry_->gauge("cluster_healthy_gpus")
+        .set(static_cast<double>(current_.healthy_count()));
+  }
+  if (sink_ != nullptr) {
+    auto emit = [&](trace::RecordKind kind, const char* health,
+                    const std::vector<GpuId>& gpus) {
+      if (gpus.empty()) return;
+      sink_->on_record({.kind = kind,
+                        .t = now,
+                        .gpus = static_cast<int>(gpus.size()),
+                        .detail = std::string(health) + " " +
+                                  trace::format_gpu_list(gpus)});
+    };
+    emit(trace::RecordKind::GpuFailed, "failed", failed);
+    emit(trace::RecordKind::GpuFailed, "reclaimed", reclaimed);
+    emit(trace::RecordKind::GpuRepaired, "healthy", healed);
+  }
+
+  std::vector<JobId> aborted;
+  for (const JobId j : victims) {
+    recover_job(j, now);
+    if (runtime(j).view.status == JobStatus::Completed) aborted.push_back(j);
+  }
+  update_busy();
+  // The cluster is consistent again: tell the scheduler — in a fresh
+  // zero-delay engine event, not inline. A shrink above already claimed the
+  // survivors' GPUs in this event; if the scheduler's reaction preempted and
+  // re-placed them in the same event, the trace transaction would interleave
+  // claim/release/claim on one GPU, which the replayer's release-then-claim
+  // settlement (deliberately order-free within an event) cannot represent.
+  // Aborts first (they carry scheduler bookkeeping: predictor skip-lists,
+  // batch-limit purges), then one capacity-change nudge for the health map.
+  engine_.schedule_after(0.0, [this, aborted = std::move(aborted)] {
+    for (const JobId j : aborted) notify(EventKind::JobComplete, j);
+    notify(EventKind::CapacityChange, kInvalidJob);
+  });
+}
+
+void ClusterSimulation::recover_job(JobId job, double now) {
+  auto& rt = runtime(job);
+  ONES_EXPECT(rt.view.status == JobStatus::Running);
+  accrue(job, now);  // progress up to the instant of the failure
+  const auto gpus = current_.gpus_of(job);
+  std::vector<GpuId> survivors, lost;
+  for (const GpuId g : gpus) {
+    (current_.slot(g).healthy() ? survivors : lost).push_back(g);
+  }
+  ONES_EXPECT_MSG(!lost.empty(), "recover_job on a job with no lost workers");
+  rt.failed_at = now;
+
+  if (scheduler_.mechanism() == ScalingMechanism::Elastic && !survivors.empty()) {
+    // Elastic shrink-on-failure: drop the dead workers and keep training on
+    // the survivors — capacity churn is a resize, not a restart. Mirrors the
+    // reconfigure path of apply() exactly (same trace bracket, I7).
+    const int old_workers = static_cast<int>(gpus.size());
+    const int old_batch = rt.view.global_batch;
+    for (const GpuId g : lost) current_.clear(g);
+    const int new_batch = current_.global_batch(job);
+    rt.view.gpus = static_cast<int>(survivors.size());
+    rt.view.global_batch = new_batch;
+    const cluster::LinkProfile link = topology_.link_profile(survivors);
+    const double cost =
+        cost_model_.elastic_cost_s(*rt.view.profile, old_workers, rt.view.gpus, link);
+    if (new_batch != old_batch) rt.dynamics->on_batch_resize(old_batch, new_batch);
+    rt.last_batch = new_batch;
+    rt.tput_sps = actual_tput(job, current_);
+    rt.view.throughput_sps = rt.tput_sps;
+    rt.produce_start = now + cost;
+    rt.last_accrue = rt.produce_start;
+    if (rt.epoch_event != 0) {
+      engine_.cancel(rt.epoch_event);
+      rt.epoch_event = 0;
+    }
+    if (registry_ != nullptr) {
+      registry_->counter("fault_job_shrinks_total").add();
+      registry_->counter("sim_reconfigurations_total").add();
+      registry_->counter("sim_reconfig_overhead_seconds_total").add(cost);
+      registry_
+          ->histogram("fault_recovery_latency_seconds", kRecoveryLatencyBounds)
+          .observe(cost);
+      record_batch_point(job);
+    }
+    if (sink_ != nullptr) {
+      sink_->on_record({.kind = trace::RecordKind::ElasticPaused,
+                        .t = now,
+                        .job = job,
+                        .cost_s = cost,
+                        .detail = "elastic"});
+      if (new_batch != old_batch) {
+        sink_->on_record({.kind = trace::RecordKind::BatchResized,
+                          .t = now,
+                          .job = job,
+                          .global_batch = new_batch,
+                          .old_batch = old_batch,
+                          .detail = ""});
+      }
+      sink_->on_record({.kind = trace::RecordKind::JobReconfigured,
+                        .t = now,
+                        .job = job,
+                        .gpus = rt.view.gpus,
+                        .global_batch = new_batch,
+                        .old_gpus = old_workers,
+                        .old_batch = old_batch,
+                        .cost_s = cost,
+                        .detail = trace::format_gpu_list(survivors)});
+      sink_->on_record({.kind = trace::RecordKind::JobRecovered,
+                        .t = now,
+                        .job = job,
+                        .gpus = rt.view.gpus,
+                        .global_batch = new_batch,
+                        .count = static_cast<std::uint64_t>(rt.restarts),
+                        .detail = "shrink"});
+      if (rt.resume_event != 0) engine_.cancel(rt.resume_event);
+      rt.resume_event = engine_.schedule_at(rt.produce_start, [this, job] {
+        runtime(job).resume_event = 0;
+        sink_->on_record({.kind = trace::RecordKind::ElasticResumed,
+                          .t = engine_.now(),
+                          .job = job,
+                          .detail = ""});
+      });
+    }
+    schedule_epoch_event(job);
+    return;
+  }
+
+  // Checkpoint-restart: no survivors (or a checkpoint-mechanism scheduler).
+  // Work since the last checkpoint — checkpoints land every
+  // checkpoint_interval_s of productive time — is redone as extra blocked
+  // time when the job next starts; the dynamics are never rolled back.
+  const double interval = config_.fault.checkpoint_interval_s;
+  const double done = rt.view.exec_time_s;
+  const double lost_s = done - std::floor(done / interval) * interval;
+  rt.redo_s = lost_s;
+  rt.lost_gpu_s += lost_s * static_cast<double>(gpus.size());
+  stop_job(job, now);      // JobPreempted bracket; survivors release cleanly
+  current_.evict(job);     // dead GPUs stay out of the idle index
+  rt.pending_recovery = true;
+  ++rt.restarts;
+  if (registry_ != nullptr) {
+    registry_->counter("fault_job_restarts_total").add();
+    registry_->counter("fault_lost_gpu_seconds_total")
+        .add(lost_s * static_cast<double>(gpus.size()));
+    registry_->histogram("fault_retry_depth", kRetryDepthBounds)
+        .observe(static_cast<double>(rt.restarts));
+  }
+  if (rt.restarts > config_.fault.max_restarts) {
+    abort_recovery(job, now);
+    return;
+  }
+  rt.view.status = JobStatus::Recovering;
+  const double backoff =
+      config_.fault.retry_backoff_s * std::ldexp(1.0, rt.restarts - 1);
+  rt.retry_event = engine_.schedule_after(backoff, [this, job] { on_retry_event(job); });
+}
+
+void ClusterSimulation::on_retry_event(JobId job) {
+  auto& rt = runtime(job);
+  rt.retry_event = 0;
+  if (rt.view.status != JobStatus::Recovering) return;  // placed early / killed
+  rt.view.status = JobStatus::Waiting;
+  if (registry_ != nullptr) sample_cluster_metrics();
+  notify(EventKind::CapacityChange, job);
+}
+
+void ClusterSimulation::abort_recovery(JobId job, double now) {
+  auto& rt = runtime(job);
+  // Retry budget exhausted: the job leaves the system as an abnormal ending,
+  // with its lost GPU-seconds on the record (I10). Mirrors on_kill_event's
+  // bookkeeping; the job already released its GPUs in recover_job.
+  if (rt.kill_event != 0) {
+    engine_.cancel(rt.kill_event);
+    rt.kill_event = 0;
+  }
+  rt.view.status = JobStatus::Completed;
+  drop_active(rt.view);
+  rt.view.aborted = true;
+  rt.pending_recovery = false;
+  metrics_.on_abort(job, now);
+  ++completed_count_;
+  maybe_halt_faults();
+  if (registry_ != nullptr) {
+    registry_->counter("sim_jobs_aborted_total").add();
+    registry_->counter("fault_jobs_aborted_total").add();
+    record_batch_point(job);
+    sample_cluster_metrics();
+  }
+  if (sink_ != nullptr) {
+    sink_->on_record({.kind = trace::RecordKind::JobCompleted,
+                      .t = now,
+                      .job = job,
+                      .cost_s = rt.lost_gpu_s,
+                      .aborted = true,
+                      .detail = "retries_exhausted"});
   }
 }
 
@@ -463,6 +738,17 @@ void ClusterSimulation::validate(const cluster::Assignment& next) const {
   ONES_EXPECT_MSG(next.num_gpus() == topology_.total_gpus(),
                   "assignment sized for a different cluster");
   next.check_invariants();
+  // I9: the scheduler must carry the live health map and never claim a down
+  // GPU. Every scheduler starts from current_ (copy or empty_like), so a
+  // mismatch means it built an assignment from scratch.
+  ONES_EXPECT_MSG(next.unhealthy_gpus() == current_.unhealthy_gpus(),
+                  "assignment disagrees with the live health map");
+  for (const GpuId g : next.unhealthy_gpus()) {
+    ONES_EXPECT_MSG(next.health(g) == current_.health(g),
+                    "assignment disagrees with a GPU's health state");
+    ONES_EXPECT_MSG(!next.slot(g).occupied(),
+                    "assignment places a worker on a down GPU (I9)");
+  }
   for (JobId j : next.running_jobs()) {
     auto it = runtimes_.find(j);
     ONES_EXPECT_MSG(it != runtimes_.end(), "assignment references unknown job");
@@ -569,7 +855,13 @@ void ClusterSimulation::apply(cluster::Assignment next) {
 
 void ClusterSimulation::start_job(JobId job, const cluster::Assignment& next, double now) {
   auto& rt = runtime(job);
-  ONES_EXPECT(rt.view.status == JobStatus::Waiting);
+  // Placing a Recovering job is allowed: its backoff ends early.
+  ONES_EXPECT(rt.view.status == JobStatus::Waiting ||
+              rt.view.status == JobStatus::Recovering);
+  if (rt.retry_event != 0) {
+    engine_.cancel(rt.retry_event);
+    rt.retry_event = 0;
+  }
   rt.view.status = JobStatus::Running;
   metrics_.on_run_start(job, now);
 
@@ -597,6 +889,11 @@ void ClusterSimulation::start_job(JobId job, const cluster::Assignment& next, do
       rt.last_batch = new_batch;
     }
   }
+  // A restart after a failure also redoes the work since the last checkpoint:
+  // extra blocked time, the dynamics were never rolled back (DESIGN.md §13).
+  const double redo = rt.redo_s;
+  cost += redo;
+  rt.redo_s = 0.0;
 
   rt.view.gpus = next.gpu_count(job);
   rt.view.global_batch = new_batch;
@@ -630,6 +927,25 @@ void ClusterSimulation::start_job(JobId job, const cluster::Assignment& next, do
                       .global_batch = new_batch,
                       .cost_s = cost,
                       .detail = trace::format_gpu_list(next.gpus_of(job))});
+  }
+  if (rt.pending_recovery) {
+    // This placement closes a checkpoint-restart recovery (I10).
+    rt.pending_recovery = false;
+    if (registry_ != nullptr) {
+      registry_
+          ->histogram("fault_recovery_latency_seconds", kRecoveryLatencyBounds)
+          .observe(now + cost - rt.failed_at);
+    }
+    if (sink_ != nullptr) {
+      sink_->on_record({.kind = trace::RecordKind::JobRecovered,
+                        .t = now,
+                        .job = job,
+                        .gpus = rt.view.gpus,
+                        .global_batch = new_batch,
+                        .cost_s = redo,
+                        .count = static_cast<std::uint64_t>(rt.restarts),
+                        .detail = "restart"});
+    }
   }
   schedule_epoch_event(job);
 }
@@ -690,6 +1006,7 @@ void ClusterSimulation::complete_job(JobId job, double now) {
   current_.evict(job);
   update_busy();
   ++completed_count_;
+  maybe_halt_faults();
   if (registry_ != nullptr) {
     registry_->counter("sim_jobs_completed_total").add();
     record_batch_point(job);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/assignment.hpp"
+#include "cluster/fault.hpp"
 #include "cluster/topology.hpp"
 #include "elastic/cost_model.hpp"
 #include "energy/meter.hpp"
@@ -42,6 +43,11 @@ struct SimulationConfig {
   /// trace/metrics sinks this IS simulation input: joules are part of the
   /// result, so the orchestrator serializes it into the cache key.
   energy::PowerConfig power;
+  /// Fault injection + recovery policy (DESIGN.md §13). Like `power` this IS
+  /// simulation input — failures move every metric — so the orchestrator
+  /// serializes it into the cache key (schema v4). All-default (disabled)
+  /// keeps the run bit-identical to a build without the subsystem.
+  cluster::FaultConfig fault;
   /// Hard stop; a correct run finishes long before (all jobs complete).
   double max_sim_time_s = 1e7;
   /// Audit mode (DESIGN.md §12): after every scheduler notification,
@@ -105,15 +111,35 @@ class ClusterSimulation {
     sim::EventId epoch_event = 0;
     sim::EventId kill_event = 0;
     sim::EventId resume_event = 0;  ///< pending elastic_resumed trace record
+    sim::EventId retry_event = 0;   ///< pending recovery backoff expiry
     bool ever_ran = false;
     int last_batch = 0;  ///< batch before the most recent stop/reconfigure
     model::TrainDynamics::EpochResult last_result;
+    // ---- Fault recovery bookkeeping (DESIGN.md §13) ----
+    int restarts = 0;           ///< checkpoint-restarts suffered (cumulative)
+    double redo_s = 0.0;        ///< work since last checkpoint, redone on restart
+    double failed_at = 0.0;     ///< sim time of the failure being recovered
+    double lost_gpu_s = 0.0;    ///< accounted lost GPU-seconds (I10)
+    bool pending_recovery = false;  ///< JobRecovered owed at next start
   };
 
   void on_arrival(JobId job);
   void on_epoch_event(JobId job);
   void on_kill_event(JobId job);
   void on_timer();
+  /// Fault-injection entry point: apply a batch of health changes to the
+  /// live assignment, route victim jobs into recovery and notify the
+  /// scheduler with a CapacityChange event.
+  void on_health_changes(const std::vector<cluster::HealthChange>& changes);
+  /// Recover one job that lost >= 1 worker: elastic shrink onto the
+  /// survivors when possible, checkpoint-restart (with backoff) otherwise.
+  void recover_job(JobId job, double now);
+  /// Backoff expiry: a Recovering job rejoins the queue.
+  void on_retry_event(JobId job);
+  /// Abort a job whose restart budget is exhausted.
+  void abort_recovery(JobId job, double now);
+  /// Stop fault injection once the whole trace has completed.
+  void maybe_halt_faults();
   void notify(EventKind kind, JobId job);
   void apply(cluster::Assignment next);
   void validate(const cluster::Assignment& next) const;
@@ -121,10 +147,12 @@ class ClusterSimulation {
   void accrue(JobId job, double now);
   void start_job(JobId job, const cluster::Assignment& next, double now);
   void stop_job(JobId job, double now);
-  void reconfigure_job(JobId job, const cluster::Assignment& next, double now);
   void complete_job(JobId job, double now);
   void schedule_epoch_event(JobId job);
   double actual_tput(JobId job, const cluster::Assignment& assignment) const;
+  /// GPUs actually running a worker (down-but-idle GPUs are neither busy
+  /// nor idle); equals total - idle with no faults in play.
+  int busy_gpus() const;
   void update_busy();
   /// Metrics emission helpers; no-ops when no registry is attached.
   void sample_cluster_metrics();
@@ -153,6 +181,8 @@ class ClusterSimulation {
   telemetry::MetricsCollector metrics_;
   energy::PowerModel power_model_;
   energy::EnergyMeter energy_;
+  /// Null unless SimulationConfig::fault.enabled().
+  std::unique_ptr<cluster::FaultInjector> injector_;
 
   // ones-lint: unordered-ok(keyed lookup via runtime() only; every traversal goes through arrived_order_, which fixes iteration to arrival order)
   std::unordered_map<JobId, JobRuntime> runtimes_;

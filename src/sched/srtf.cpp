@@ -32,7 +32,7 @@ std::optional<cluster::Assignment> SrtfOracleScheduler::on_event(
   });
 
   // Greedy selection with skip-over: shortest jobs first, fit what we can.
-  int capacity = state.topology->total_gpus();
+  int capacity = state.current->healthy_count();
   std::vector<const JobView*> selected;
   for (const Cand& c : cands) {
     if (c.job->spec.requested_gpus <= capacity) {
@@ -54,7 +54,7 @@ std::optional<cluster::Assignment> SrtfOracleScheduler::on_event(
     if (same) return std::nullopt;
   }
 
-  cluster::Assignment next(state.topology->total_gpus());
+  cluster::Assignment next = cluster::Assignment::empty_like(*state.current);
   // Keep the placement of jobs that stay scheduled (avoid pointless moves).
   for (const JobView* j : selected) {
     if (j->status == JobStatus::Running) {

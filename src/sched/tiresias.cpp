@@ -43,7 +43,7 @@ std::optional<cluster::Assignment> TiresiasScheduler::on_event(const ClusterStat
     return a.job->spec.id < b.job->spec.id;
   });
 
-  int capacity = state.topology->total_gpus();
+  int capacity = state.current->healthy_count();
   std::vector<const JobView*> selected;
   for (const Cand& c : cands) {
     if (c.job->spec.requested_gpus <= capacity) {
@@ -64,7 +64,7 @@ std::optional<cluster::Assignment> TiresiasScheduler::on_event(const ClusterStat
     if (same) return std::nullopt;
   }
 
-  cluster::Assignment next(state.topology->total_gpus());
+  cluster::Assignment next = cluster::Assignment::empty_like(*state.current);
   for (const JobView* j : selected) {
     if (j->status == JobStatus::Running) {
       for (GpuId g : state.current->gpus_of(j->spec.id)) {

@@ -30,6 +30,9 @@ constexpr KindName kKindNames[] = {
     {RecordKind::ProtocolPhase, "protocol_phase"},
     {RecordKind::EvolutionStep, "evolution_step"},
     {RecordKind::SimEvent, "sim_event"},
+    {RecordKind::GpuFailed, "gpu_failed"},
+    {RecordKind::GpuRepaired, "gpu_repaired"},
+    {RecordKind::JobRecovered, "job_recovered"},
 };
 
 double number_field(const JsonValue& obj, const char* key) {

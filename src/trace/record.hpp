@@ -37,6 +37,9 @@ enum class RecordKind {
   ProtocolPhase,    ///< fine-grained elastic protocol milestone (Fig 12)
   EvolutionStep,    ///< ONES advanced its evolutionary search
   SimEvent,         ///< scheduler event delivery (arrival/epoch/complete/timer)
+  GpuFailed,        ///< a GPU went down (fault injection, DESIGN.md §13)
+  GpuRepaired,      ///< a down GPU came back
+  JobRecovered,     ///< a failure-impacted job resumed making progress
 };
 
 const char* kind_name(RecordKind kind);
@@ -61,7 +64,10 @@ struct TraceRecord {
   std::uint64_t count = 0;  ///< EvolutionStep: cumulative round counter;
                             ///< RunEnd: jobs finished
   std::string detail;       ///< GPU list "0,1,5" (placement records),
-                            ///< event / phase / mechanism name, model name
+                            ///< event / phase / mechanism name, model name;
+                            ///< GpuFailed/GpuRepaired: "<health> <gpu list>"
+                            ///< (new health name + affected GPUs);
+                            ///< JobRecovered: "shrink" | "restart"
 
   bool operator==(const TraceRecord&) const = default;
 };

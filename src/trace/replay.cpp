@@ -1,8 +1,10 @@
 #include "trace/replay.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace ones::trace {
 
@@ -81,6 +83,12 @@ class Checker {
               std::to_string(total_gpus_) + ")");
         continue;
       }
+      // I9: down GPUs take no work. Judged at claim time — a repair in the
+      // same engine event is emitted before the placement it enables.
+      if (down_[static_cast<std::size_t>(g)]) {
+        issue("gpu " + std::to_string(g) + " claimed by job " +
+              std::to_string(r.job) + " while down (I9)");
+      }
       txn_claims_.push_back({g, r.job, index_});
     }
     js.gpus = std::move(gpus);
@@ -139,6 +147,50 @@ class Checker {
     js.pending_resize = false;
   }
 
+  /// I9/I10 bookkeeping for a gpu_failed / gpu_repaired record. Detail is
+  /// "<health> <gpu list>"; the owner map identifies the impacted jobs (the
+  /// failure opens a new engine event, so prior transactions are settled).
+  void apply_health_change(const TraceRecord& r) {
+    const std::size_t space = r.detail.find(' ');
+    if (space == std::string::npos) {
+      issue(std::string(kind_name(r.kind)) + " detail lacks a health word");
+      return;
+    }
+    const std::string health = r.detail.substr(0, space);
+    const bool repair = r.kind == RecordKind::GpuRepaired;
+    if (repair ? health != "healthy"
+               : (health != "failed" && health != "reclaimed")) {
+      issue(std::string(kind_name(r.kind)) + " with health '" + health + "'");
+    }
+    std::vector<GpuId> gpus;
+    try {
+      gpus = parse_gpu_list(r.detail.substr(space + 1));
+    } catch (const std::exception& e) {
+      issue(e.what());
+      return;
+    }
+    if (static_cast<int>(gpus.size()) != r.gpus) {
+      issue("health change lists " + std::to_string(gpus.size()) +
+            " gpus, reports " + std::to_string(r.gpus));
+    }
+    for (GpuId g : gpus) {
+      if (g < 0 || g >= total_gpus_) {
+        issue("gpu " + std::to_string(g) + " out of range [0, " +
+              std::to_string(total_gpus_) + ")");
+        continue;
+      }
+      if (repair && !down_[static_cast<std::size_t>(g)]) {
+        issue("gpu " + std::to_string(g) + " repaired while already healthy");
+      }
+      // down -> down is legal: failed <-> reclaimed transitions re-announce.
+      down_[static_cast<std::size_t>(g)] = !repair;
+      if (!repair) {
+        const JobId owner = owner_[static_cast<std::size_t>(g)];
+        if (owner != kInvalidJob) impacted_.insert(owner);  // I10 opens here
+      }
+    }
+  }
+
   void step(const TraceRecord& r) {
     // I2: monotonic time and engine sequence.
     if (index_ > 0) {
@@ -172,6 +224,7 @@ class Checker {
         if (r.gpus < 1) issue("run_begin with non-positive cluster size");
         total_gpus_ = r.gpus;
         owner_.assign(static_cast<std::size_t>(std::max(total_gpus_, 0)), kInvalidJob);
+        down_.assign(static_cast<std::size_t>(std::max(total_gpus_, 0)), false);
         break;
       }
       case RecordKind::RunEnd: {
@@ -303,7 +356,29 @@ class Checker {
         js->paused = false;
         js->pending_resize = false;
         js->s = JobState::S::Done;
+        impacted_.erase(r.job);  // I10: completion (or abort) settles the job
         ++completed_;
+        break;
+      }
+      case RecordKind::GpuFailed:
+      case RecordKind::GpuRepaired: {
+        apply_health_change(r);
+        break;
+      }
+      case RecordKind::JobRecovered: {
+        JobState* js = job_state(r);
+        if (js == nullptr) break;
+        if (js->s != JobState::S::Running) {
+          issue("job " + std::to_string(r.job) + " recovered while not running");
+          break;
+        }
+        if (r.detail != "shrink" && r.detail != "restart") {
+          issue("job_recovered with unknown mode '" + r.detail + "'");
+        }
+        if (impacted_.erase(r.job) == 0) {
+          issue("job " + std::to_string(r.job) +
+                " recovered without a preceding failure (I10)");
+        }
         break;
       }
       case RecordKind::ElasticPaused: {
@@ -361,6 +436,13 @@ class Checker {
           issue("job " + std::to_string(id) + " left inside an unclosed pause bracket");
         }
       }
+      // I10 end-of-stream: every failure-impacted job must have settled.
+      std::vector<JobId> dangling(impacted_.begin(), impacted_.end());
+      std::sort(dangling.begin(), dangling.end());
+      for (const JobId id : dangling) {
+        issue("job " + std::to_string(id) +
+              " impacted by a failure but never recovered (I10)");
+      }
     }
   }
 
@@ -382,6 +464,8 @@ class Checker {
   std::vector<GpuId> txn_releases_;
   std::vector<PendingClaim> txn_claims_;
   std::vector<JobId> owner_;
+  std::vector<bool> down_;  ///< per-GPU down set (I9)
+  std::unordered_set<JobId> impacted_;  ///< failure-hit, recovery owed (I10)
   std::unordered_map<JobId, JobState> jobs_;
 };
 

@@ -29,6 +29,13 @@
 //       tagged "truncated" (time-boxed run) may end mid-bracket.
 //   I8  totals: run_end's finished count equals the job_completed records
 //       seen, and a fully-finished run leaves every GPU free.
+//   I9  health: gpu_failed / gpu_repaired records track a per-GPU down set,
+//       and no placement or reconfiguration ever claims a down GPU.
+//   I10 recovery: every job holding a GPU when it fails is impacted, and
+//       each impacted job later emits job_recovered (elastic shrink or
+//       checkpoint restart) or job_completed (converged, or aborted with its
+//       lost GPU-seconds in cost_s). At end of stream no impacted job is
+//       left dangling — truncated runs excepted, as with I7.
 #pragma once
 
 #include <cstddef>

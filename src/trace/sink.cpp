@@ -140,6 +140,25 @@ void ChromeTraceSink::on_record(const TraceRecord& r) {
       break;
     }
     case RecordKind::SimEvent: break;  // engine-level noise; JSONL keeps it
+    case RecordKind::GpuFailed: {
+      std::ostringstream os;
+      os << "{\"name\":" << json_quote("gpu down: " + r.detail)
+         << ",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"ts\":" << ts_us(r.t)
+         << ",\"pid\":0,\"tid\":0}";
+      emit(os.str());
+      break;
+    }
+    case RecordKind::GpuRepaired: {
+      std::ostringstream os;
+      os << "{\"name\":" << json_quote("gpu up: " + r.detail)
+         << ",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"ts\":" << ts_us(r.t)
+         << ",\"pid\":0,\"tid\":0}";
+      emit(os.str());
+      break;
+    }
+    case RecordKind::JobRecovered:
+      instant(r, "recovered (" + r.detail + ")");
+      break;
   }
 }
 

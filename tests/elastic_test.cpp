@@ -167,5 +167,149 @@ TEST(Protocol, PhaseNamesAreStable) {
   EXPECT_STREQ(phase_name(WorkerPhase::Running), "running");
 }
 
+/// Run `request` to completion with no losses and return the report — the
+/// reference timing the worker-loss tests schedule against.
+ScalingReport clean_run(const ScalingRequest& request,
+                        const model::TaskProfile& p = model::profile_by_name("ResNet50")) {
+  sim::SimEngine engine;
+  const auto topo = small_topology();
+  ScalingReport report;
+  ScalingSession session(engine, p, topo, CostConfig{}, request,
+                         [&](const ScalingReport& r) { report = r; });
+  session.start();
+  engine.run();
+  return report;
+}
+
+/// Run `request` with one worker lost at `when`, asserting the session is in
+/// `expected_phase` at the loss.
+ScalingReport lossy_run(const ScalingRequest& request, GpuId lost, double when,
+                        ScalingSession::SessionPhase expected_phase) {
+  sim::SimEngine engine;
+  const auto topo = small_topology();
+  const auto& p = model::profile_by_name("ResNet50");
+  ScalingReport report;
+  bool done = false;
+  ScalingSession session(engine, p, topo, CostConfig{}, request,
+                         [&](const ScalingReport& r) {
+                           report = r;
+                           done = true;
+                         });
+  session.start();
+  engine.schedule_at(when, [&] {
+    EXPECT_EQ(session.phase(), expected_phase);
+    session.on_worker_lost(lost);
+  });
+  engine.run();
+  EXPECT_TRUE(done);
+  return report;
+}
+
+TEST(ProtocolWorkerLoss, LossDuringDrainDropsWorkerAndConverges) {
+  const auto clean = clean_run(grow_request());
+  // Mid-drain: after the new workers are ready, before the pause lands.
+  const double when = 0.5 * (clean.new_workers_ready_at + clean.paused_at);
+  const auto report = lossy_run(grow_request(), /*lost=*/3, when,
+                                ScalingSession::SessionPhase::Draining);
+  EXPECT_FALSE(report.rolled_back);
+  EXPECT_EQ(report.workers_lost, 1);
+  // The survivors' reconnect has one fewer worker, so the session can only
+  // resume at or before the clean run.
+  EXPECT_LE(report.resumed_at, clean.resumed_at);
+  EXPECT_GT(report.resumed_at, report.paused_at);
+}
+
+TEST(ProtocolWorkerLoss, LossDuringReconnectReformsTopology) {
+  const auto clean = clean_run(grow_request());
+  // Just after the pause: the reconnect stage is in flight.
+  const double when = clean.paused_at + 1e-3;
+  const auto report = lossy_run(grow_request(), /*lost=*/2, when,
+                                ScalingSession::SessionPhase::Reconnecting);
+  EXPECT_FALSE(report.rolled_back);
+  EXPECT_EQ(report.workers_lost, 1);
+  bool reformed = false;
+  for (const auto& line : report.timeline) {
+    if (line.find("re-form") != std::string::npos) reformed = true;
+  }
+  EXPECT_TRUE(reformed);
+  EXPECT_GT(report.resumed_at, report.paused_at);
+}
+
+TEST(ProtocolWorkerLoss, LossDuringBroadcastRestartsFromReconnect) {
+  const auto clean = clean_run(grow_request());
+  // The broadcast is the last stage before resume; land inside it.
+  const auto topo = small_topology();
+  const auto& p = model::profile_by_name("ResNet50");
+  const double bcast =
+      p.params_bytes / topo.link_profile({0, 1, 2, 3}).bandwidth_Bps;
+  const double when = clean.resumed_at - 0.5 * bcast;
+  const auto report = lossy_run(grow_request(), /*lost=*/3, when,
+                                ScalingSession::SessionPhase::Receiving);
+  EXPECT_FALSE(report.rolled_back);
+  EXPECT_EQ(report.workers_lost, 1);
+  // A near-complete session redoes reconnect + broadcast on the survivors.
+  EXPECT_GT(report.resumed_at, clean.resumed_at);
+}
+
+TEST(ProtocolWorkerLoss, LosingEveryTargetWorkerRollsBack) {
+  sim::SimEngine engine;
+  const auto topo = small_topology();
+  const auto& p = model::profile_by_name("ResNet50");
+  ScalingRequest r;
+  r.job = 1;
+  r.old_workers = {0, 1, 2, 3};
+  r.new_workers = {0, 1};  // pure shrink
+  r.old_global_batch = 1024;
+  r.new_global_batch = 512;
+  ScalingReport report;
+  bool done = false;
+  ScalingSession session(engine, p, topo, CostConfig{}, r,
+                         [&](const ScalingReport& rep) {
+                           report = rep;
+                           done = true;
+                         });
+  session.start();
+  const double when = 0.05;  // mid-drain (shrink: no init stage)
+  engine.schedule_at(when, [&] {
+    session.on_worker_lost(0);
+    session.on_worker_lost(1);
+  });
+  engine.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(report.rolled_back);
+  EXPECT_EQ(report.workers_lost, 2);
+  EXPECT_EQ(session.phase(), ScalingSession::SessionPhase::RolledBack);
+  EXPECT_DOUBLE_EQ(report.resumed_at, when);
+}
+
+TEST(ProtocolWorkerLoss, UninvolvedGpuLossIsANoOp) {
+  const auto clean = clean_run(grow_request());
+  const double when = 0.5 * (clean.new_workers_ready_at + clean.paused_at);
+  sim::SimEngine engine;
+  const auto topo = small_topology();
+  const auto& p = model::profile_by_name("ResNet50");
+  ScalingReport report;
+  ScalingSession session(engine, p, topo, CostConfig{}, grow_request(),
+                         [&](const ScalingReport& r) { report = r; });
+  session.start();
+  engine.schedule_at(when, [&] { session.on_worker_lost(7); });  // not in session
+  engine.run();
+  EXPECT_EQ(report.workers_lost, 0);
+  EXPECT_DOUBLE_EQ(report.resumed_at, clean.resumed_at);
+  EXPECT_DOUBLE_EQ(report.blocked_s, clean.blocked_s);
+}
+
+TEST(ProtocolWorkerLoss, LossyRunsAreDeterministic) {
+  const auto clean = clean_run(grow_request());
+  const double when = clean.paused_at + 1e-3;
+  const auto a = lossy_run(grow_request(), 2, when,
+                           ScalingSession::SessionPhase::Reconnecting);
+  const auto b = lossy_run(grow_request(), 2, when,
+                           ScalingSession::SessionPhase::Reconnecting);
+  EXPECT_DOUBLE_EQ(a.resumed_at, b.resumed_at);
+  EXPECT_DOUBLE_EQ(a.blocked_s, b.blocked_s);
+  EXPECT_EQ(a.timeline, b.timeline);
+}
+
 }  // namespace
 }  // namespace ones::elastic

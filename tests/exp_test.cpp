@@ -266,6 +266,18 @@ TEST(ExpRunSpec, CacheKeyIsSensitiveToEveryKnob) {
   trace.trace.mean_interarrival_s *= 2.0;
   EXPECT_NE(cache_key(trace), key);
 
+  // Fault injection (DESIGN.md §13) is simulation input (schema v4): every
+  // knob, including the recovery policy, must move the key.
+  auto fault = base;
+  fault.sim.fault.gpu_mtbf_s = 15000.0;
+  EXPECT_NE(cache_key(fault), key);
+  auto fault_seed = base;
+  fault_seed.sim.fault.seed += 1;
+  EXPECT_NE(cache_key(fault_seed), key);
+  auto ckpt = base;
+  ckpt.sim.fault.checkpoint_interval_s *= 2.0;
+  EXPECT_NE(cache_key(ckpt), key);
+
   // Keys are filesystem-safe and embed the scheduler for debuggability.
   EXPECT_EQ(key.find("fifo-"), 0u);
   EXPECT_EQ(key.find('/'), std::string::npos);

@@ -130,6 +130,46 @@ TEST(FailureSim, TiresiasSurvivesHighFailureRates) {
   EXPECT_TRUE(sim.all_completed());
 }
 
+TEST(FailureSim, TraceKillsAndInjectedFaultsCompose) {
+  // Abnormal endings from the trace (§2.1 kills) and injected GPU faults
+  // (DESIGN.md §13) in the same run: every job still settles, the cluster
+  // drains, and aborted jobs come from both sources without double counting.
+  sched::FifoScheduler fifo;
+  auto config = small_config();
+  config.fault.gpu_mtbf_s = 1500.0;
+  config.fault.gpu_repair_s = 60.0;
+  config.audit_incremental = true;
+  const auto trace = workload::generate_trace(failing_trace_config(0.4, 20));
+  sched::ClusterSimulation sim(config, trace, fifo);
+  sim.run();
+  EXPECT_TRUE(sim.all_completed());
+  EXPECT_GT(sim.metrics().aborted(), 0u);
+  EXPECT_EQ(sim.metrics().aborted() + sim.metrics().completed(), trace.size());
+  for (const auto& spec : trace) {
+    EXPECT_EQ(sim.job_view(spec.id).status, sched::JobStatus::Completed);
+  }
+}
+
+TEST(FailureSim, KillLandsWhileJobWaitsOutARecoveryBackoff) {
+  // A job whose placement died is Recovering (waiting out the retry backoff)
+  // when its trace kill fires: the kill must win, cancel the pending retry
+  // and settle the job as aborted — not resurrect it later.
+  sched::FifoScheduler fifo;
+  auto config = small_config();
+  config.fault.gpu_mtbf_s = 600.0;  // faults well within each job's lifetime
+  config.fault.gpu_repair_s = 30.0;
+  config.fault.retry_backoff_s = 120.0;  // long backoff: kills land inside it
+  config.audit_incremental = true;
+  auto tc = failing_trace_config(0.7, 24, 11);
+  const auto trace = workload::generate_trace(tc);
+  sched::ClusterSimulation sim(config, trace, fifo);
+  sim.run();
+  EXPECT_TRUE(sim.all_completed());
+  // Cluster drained: every healthy GPU is back in the idle index.
+  EXPECT_EQ(sim.current_assignment().idle_count(),
+            sim.current_assignment().healthy_count());
+}
+
 TEST(FailureSim, ConvergedJobCancelsItsPendingKill) {
   // A kill scheduled far in the future must be cancelled when the job
   // converges first (no double-completion).
