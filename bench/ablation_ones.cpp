@@ -34,8 +34,8 @@ class CheckpointOnes : public core::OnesScheduler {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::ScopedTimer timer("ablation_ones");
   const auto opt = exp::parse_bench_cli(argc, argv);
+  bench::BenchReport report("ablation_ones", opt);
   const auto config = bench::paper_sim_config(8);  // 32 GPUs
   const auto trace_config = bench::paper_trace_config(160, 9.0);
   std::printf("ONES ablations: %d jobs on 32 GPUs\n\n", trace_config.num_jobs);
@@ -115,6 +115,7 @@ int main(int argc, char** argv) {
   telemetry::MetricsRegistry bench_registry;
   exp::GridOptions grid = opt.grid;
   grid.registry = &bench_registry;
+  if (!grid.prof_dir.empty()) grid.prof = &report.profile();
 
   const auto runs = exp::run_grid(specs, grid);
   const std::size_t n_rows = variants.size() + 1;
@@ -131,6 +132,7 @@ int main(int argc, char** argv) {
                 telemetry::format_summary_row(pooled[i].summary).c_str());
     if (std::string(labels[i]) == "full") full_jct = pooled[i].summary.avg_jct;
     rows.emplace_back(labels[i], pooled[i].summary.avg_jct);
+    report.metric(std::string("avg_jct.") + labels[i], pooled[i].summary.avg_jct);
   }
 
   std::printf("\nAverage-JCT change vs the full configuration:\n");
@@ -138,6 +140,7 @@ int main(int argc, char** argv) {
     if (label == "full") continue;
     std::printf("  %-16s %+7.1f%%\n", label.c_str(), 100.0 * (jct - full_jct) / full_jct);
   }
+  report.cache_stats_from(bench_registry);
   bench::print_cache_footer(bench_registry);
   return 0;
 }

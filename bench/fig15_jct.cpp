@@ -52,8 +52,8 @@ void print_panel(const char* title, const std::vector<bench::RunResult>& results
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::ScopedTimer timer("fig15_jct");
   const auto opt = exp::parse_bench_cli(argc, argv);
+  bench::BenchReport report("fig15_jct", opt);
   const auto config = bench::paper_sim_config();
   const auto trace_config = bench::paper_trace_config();
   std::printf("Figure 15: scheduling performance, %d jobs on %d GPUs\n",
@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
   telemetry::MetricsRegistry bench_registry;
   exp::GridOptions grid = opt.grid;
   grid.registry = &bench_registry;
+  if (!grid.prof_dir.empty()) grid.prof = &report.profile();
 
   const auto factories = bench::all_factories();
   const auto specs = bench::seed_grid(factories, config, trace_config, opt.seeds);
@@ -114,6 +115,16 @@ int main(int argc, char** argv) {
                 results[i].summary.scheduler.c_str(), 100.0 * base_ecdf.at(t),
                 ones_ecdf.at(t) >= base_ecdf.at(t) ? "OK" : "MISMATCH");
   }
+  for (const auto& r : results) {
+    const std::string& s = r.summary.scheduler;
+    report.metric("avg_jct." + s, r.summary.avg_jct);
+    report.metric("avg_exec." + s, r.summary.avg_exec);
+    report.metric("avg_queue." + s, r.summary.avg_queue);
+    report.metric("p90_jct." + s, r.summary.p90_jct);
+    report.metric("makespan." + s, r.summary.makespan);
+    report.metric("utilization." + s, r.summary.utilization);
+  }
+  report.cache_stats_from(bench_registry);
   bench::print_cache_footer(bench_registry);
   return 0;
 }

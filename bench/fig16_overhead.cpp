@@ -10,8 +10,12 @@
 // cross-checked against it. The per-model blocked times are read back from
 // the telemetry registry the protocol reports into (DESIGN.md §9) — the
 // same instruments any instrumented run exports — rather than from the raw
-// ScalingReport structs.
+// ScalingReport structs. Host-side overhead comes from prof::Profiler spans
+// (engine.*, elastic.stage, elastic.checkpoint — DESIGN.md §14) instead of
+// ad-hoc timers: `--prof-dir=P` writes `fig16_overhead.prof.json` and the
+// span table lands in the BENCH_fig16_overhead.json profile section.
 #include <cstdio>
+#include <optional>
 
 #include "cluster/topology.hpp"
 #include "elastic/cost_model.hpp"
@@ -23,8 +27,15 @@
 
 using namespace ones;
 
-int main() {
-  ::ones::bench::ScopedTimer bench_timer("fig16_overhead");
+int main(int argc, char** argv) {
+  const auto opt = exp::parse_bench_cli(argc, argv);
+  bench::BenchReport report("fig16_overhead", opt);
+  // Off by default, exactly the orchestrated benches' contract: host-time
+  // spans only collect under --prof-dir, and never change any number on
+  // stdout.
+  std::optional<prof::Profiler> profiler;
+  if (!opt.grid.prof_dir.empty()) profiler.emplace();
+  prof::Profiler* prof_ptr = profiler ? &*profiler : nullptr;
   const cluster::Topology topo(cluster::TopologyConfig{});
   const elastic::CostConfig costs;
   const elastic::ScalingCostModel cost_model(costs);
@@ -45,15 +56,18 @@ int main() {
 
     // Elastic: event-by-event protocol simulation (background init overlap).
     sim::SimEngine engine;
+    engine.set_profiler(prof_ptr);
     elastic::ScalingSession session(engine, profile, topo, costs, req,
                                     [](const elastic::ScalingReport&) {});
     session.set_metrics(&registry);
+    session.set_profiler(prof_ptr);
     session.start();
     engine.run();
 
     // Checkpoint: stop-save-restart-reload.
     sim::SimEngine engine2;
-    elastic::run_checkpoint_migration(engine2, profile, costs, req, &registry);
+    elastic::run_checkpoint_migration(engine2, profile, costs, req, &registry,
+                                      prof_ptr);
 
     // Report from the registry: the protocol's last-blocked gauges hold the
     // numbers this figure plots.
@@ -61,6 +75,8 @@ int main() {
     const double ckpt_s = registry.gauge_value("checkpoint_last_blocked_seconds");
     std::printf("%-14s %12.0f %16.2f %18.2f %11.1fx\n", profile.name.c_str(),
                 profile.params_bytes / 1e6, elastic_s, ckpt_s, ckpt_s / elastic_s);
+    report.metric("elastic_blocked_s." + profile.name, elastic_s);
+    report.metric("checkpoint_blocked_s." + profile.name, ckpt_s);
     if (elastic_s > 3.0 || ckpt_s < 15.0) shape_ok = false;
   }
 
@@ -93,5 +109,10 @@ int main() {
 
   std::printf("\nShape check vs the paper (elastic ~1 s, checkpoint tens of s): %s\n",
               shape_ok ? "OK" : "MISMATCH");
+  report.metric("shape_ok", shape_ok ? 1.0 : 0.0);
+  if (profiler) {
+    report.profile().add(*profiler);
+    prof::write_profile_file(opt.grid.prof_dir, "fig16_overhead", profiler->stats());
+  }
   return 0;
 }

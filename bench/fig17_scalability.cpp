@@ -29,7 +29,7 @@ using namespace ones;
 
 namespace {
 
-int run_paper(const exp::BenchOptions& opt) {
+int run_paper(const exp::BenchOptions& opt, bench::BenchReport& report) {
   const auto trace_config = bench::paper_trace_config(240, 4.5);
   const std::vector<int> node_counts = {4, 8, 12, 16};  // 16..64 GPUs
 
@@ -43,6 +43,7 @@ int run_paper(const exp::BenchOptions& opt) {
   telemetry::MetricsRegistry bench_registry;
   exp::GridOptions grid = opt.grid;
   grid.registry = &bench_registry;
+  if (!grid.prof_dir.empty()) grid.prof = &report.profile();
 
   // Grid layout: capacity-major, then (factory-major, seed-minor) per
   // capacity — the seed_grid slices concatenate in node_counts order.
@@ -128,6 +129,14 @@ int run_paper(const exp::BenchOptions& opt) {
               "16 to 64 GPUs. On a fixed trace that holds while the largest cluster is\n"
               "still contended; once capacity outgrows the offered load, all schedulers\n"
               "converge and margins compress (see EXPERIMENTS.md).\n");
+  for (const auto& name : order) {
+    for (std::size_t c = 0; c < node_counts.size(); ++c) {
+      const std::string suffix = name + "." + std::to_string(node_counts[c] * 4) + "gpu";
+      report.metric("avg_jct." + suffix, table[name][c].avg_jct);
+      report.metric("avg_queue." + suffix, table[name][c].avg_queue);
+    }
+  }
+  report.cache_stats_from(bench_registry);
   bench::print_cache_footer(bench_registry);
   return 0;
 }
@@ -138,7 +147,7 @@ int run_paper(const exp::BenchOptions& opt) {
 // tiers sweep. FIFO policies only: their decisions are O(waiting + G), so
 // end-to-end wall time tracks engine throughput instead of the evolutionary
 // search, and 100k-job runs stay in CI-able territory.
-int run_hyperscale(const exp::BenchOptions& opt) {
+int run_hyperscale(const exp::BenchOptions& opt, bench::BenchReport& report) {
   struct Tier {
     int nodes;
     int jobs;
@@ -159,6 +168,7 @@ int run_hyperscale(const exp::BenchOptions& opt) {
   telemetry::MetricsRegistry bench_registry;
   exp::GridOptions grid = opt.grid;
   grid.registry = &bench_registry;
+  if (!grid.prof_dir.empty()) grid.prof = &report.profile();
 
   const std::size_t per_tier = factories.size() * static_cast<std::size_t>(opt.seeds);
   double prev_executed = 0.0;
@@ -237,6 +247,12 @@ int run_hyperscale(const exp::BenchOptions& opt) {
   }
   std::printf("  event volume grows with cluster scale: %s\n",
               events_grow ? "OK" : "MISMATCH");
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    report.metric("events." + std::to_string(tiers[t].nodes * 4) + "gpu",
+                  static_cast<double>(tier_events[t]));
+  }
+  report.metric("all_jobs_complete", all_complete ? 1.0 : 0.0);
+  report.cache_stats_from(bench_registry);
   bench::print_cache_footer(bench_registry);
   return 0;
 }
@@ -244,7 +260,6 @@ int run_hyperscale(const exp::BenchOptions& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::ScopedTimer timer("fig17_scalability");
   std::string scale = "paper";
   const auto opt = exp::parse_bench_cli(
       argc, argv,
@@ -257,9 +272,13 @@ int main(int argc, char** argv) {
       },
       "  --scale=S       paper (default: Figs 17/18, 16..64 GPUs) or hyperscale\n"
       "                  (calendar-queue stress: 1k..10k GPUs, 10k..100k jobs)\n");
-  if (scale == "paper") return run_paper(opt);
-  if (scale == "hyperscale") return run_hyperscale(opt);
-  std::fprintf(stderr, "fig17_scalability: bad --scale value '%s' (expected paper|hyperscale)\n",
-               scale.c_str());
-  return 2;
+  if (scale != "paper" && scale != "hyperscale") {
+    std::fprintf(stderr,
+                 "fig17_scalability: bad --scale value '%s' (expected paper|hyperscale)\n",
+                 scale.c_str());
+    return 2;
+  }
+  bench::BenchReport report(
+      scale == "paper" ? "fig17_scalability" : "fig17_scalability_hyperscale", opt);
+  return scale == "paper" ? run_paper(opt, report) : run_hyperscale(opt, report);
 }

@@ -6,17 +6,23 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/host.hpp"
+#include "common/json.hpp"
 #include "core/ones_scheduler.hpp"
 #include "drl/drl_scheduler.hpp"
 #include "exp/cli.hpp"
 #include "exp/orchestrator.hpp"
+#include "prof/export.hpp"
 #include "sched/fifo.hpp"
 #include "sched/optimus.hpp"
 #include "sched/simulation.hpp"
@@ -84,23 +90,10 @@ class WallClock {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Peak resident set size (VmHWM) in MiB from /proc/self/status, 0.0 when
-/// unavailable (non-Linux). Diagnostics only — callers print it to stderr.
-inline double peak_rss_mib() {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0.0;
-  char line[256];
-  double kib = 0.0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
-    long v = 0;
-    if (std::sscanf(line, "VmHWM: %ld kB", &v) == 1) {
-      kib = static_cast<double>(v);
-      break;
-    }
-  }
-  std::fclose(f);
-  return kib / 1024.0;
-}
+/// Peak resident set size (VmHWM) in MiB; 0.0 when unavailable (non-Linux).
+/// Diagnostics only — callers print it to stderr or BENCH_*.json. The
+/// reader itself lives in src/common (common::peak_rss_mib).
+inline double peak_rss_mib() { return common::peak_rss_mib(); }
 
 using RunResult = exp::RunResult;
 
@@ -268,5 +261,122 @@ inline void print_cache_footer(const telemetry::MetricsRegistry& registry) {
                registry.counter_value("exp_runs_executed_total"));
   std::fflush(stderr);
 }
+
+/// Canonical machine-readable bench results (DESIGN.md §14). Construct one
+/// per bench from the parsed CLI options; feed it the deterministic headline
+/// metrics (`metric`), host-side measurements (`host_metric`), the cache
+/// statistics registry and — via `profile()` wired into
+/// `GridOptions::prof` — the merged host-span rollup. On destruction it
+/// prints the stderr footer (wall-clock, peak RSS, span table) and writes
+/// `BENCH_<name>.json` (or `--bench-json=PATH`) via temp-file + rename.
+/// Deterministic metric values are strictly separated from host noise: the
+/// `metrics` object must be byte-stable across runs and thread counts, while
+/// everything under `host` (and the profile nanoseconds) is wall-clock.
+/// `--no-bench-json` keeps the stderr footer but skips the file.
+class BenchReport {
+ public:
+  BenchReport(const std::string& name, const exp::BenchOptions& opt)
+      : name_(name),
+        threads_(opt.grid.threads),
+        seeds_(opt.seeds),
+        enabled_(opt.write_bench_json),
+        path_(opt.bench_json.empty() ? "BENCH_" + name + ".json" : opt.bench_json),
+        start_(std::chrono::steady_clock::now()) {}
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// A deterministic headline result (same value for any --threads).
+  void metric(const std::string& key, double value) { metrics_[key] = value; }
+  /// A host-side measurement (wall-clock, throughput, ...): machine noise,
+  /// compared warn-only by tools/bench_diff.
+  void host_metric(const std::string& key, double value) { host_metrics_[key] = value; }
+
+  /// Copy the orchestrator cache statistics out of the bench registry
+  /// (GridOptions::registry after run_grid).
+  void cache_stats_from(const telemetry::MetricsRegistry& registry) {
+    cache_["hits"] = registry.counter_value("exp_cache_hits_total");
+    cache_["misses"] = registry.counter_value("exp_cache_misses_total");
+    cache_["stores"] = registry.counter_value("exp_cache_stores_total");
+    cache_["demotions"] = registry.counter_value("exp_cache_demotions_total");
+    cache_["executed"] = registry.counter_value("exp_runs_executed_total");
+    have_cache_ = true;
+  }
+
+  /// The bench-level span rollup; point GridOptions::prof at it (only when
+  /// the user asked for profiling — the off-by-default contract is the
+  /// bench's to keep) or `add` profilers manually.
+  prof::ProfileRollup& profile() { return profile_; }
+
+  ~BenchReport() {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    const double rss_mib = common::peak_rss_mib();
+    std::fprintf(stderr, "[%s] wall-clock: %.1f s  peak-rss: %.1f MiB\n", name_.c_str(),
+                 wall_s, rss_mib);
+    if (!profile_.empty()) std::fputs(prof::format_profile(profile_.stats()).c_str(), stderr);
+    std::fflush(stderr);
+    if (!enabled_) return;
+    try {
+      write_json(wall_s, rss_mib);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[%s] failed writing '%s': %s\n", name_.c_str(), path_.c_str(),
+                   e.what());
+    }
+  }
+
+ private:
+  void write_json(double wall_s, double rss_mib) const {
+    namespace fs = std::filesystem;
+    const std::string tmp = path_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot open temp file");
+      out << "{\"schema\":1,\"bench\":" << json_quote(name_)
+          << ",\"threads\":" << threads_ << ",\"seeds\":" << seeds_;
+      out << ",\n\"metrics\":{";
+      write_map(out, metrics_);
+      out << "},\n\"host\":{\"wall_seconds\":" << json_double(wall_s)
+          << ",\"peak_rss_mib\":" << json_double(rss_mib) << ",\"metrics\":{";
+      write_map(out, host_metrics_);
+      out << "}}";
+      if (have_cache_) {
+        out << ",\n\"cache\":{";
+        write_map(out, cache_);
+        out << "}";
+      }
+      out << ",\n\"profile\":[";
+      bool first = true;
+      for (const prof::SpanStats& s : profile_.stats()) {
+        out << (first ? "\n" : ",\n") << "{\"path\":" << json_quote(s.path)
+            << ",\"count\":" << s.count << ",\"total_ns\":" << s.total_ns
+            << ",\"self_ns\":" << s.self_ns << '}';
+        first = false;
+      }
+      out << "\n]}\n";
+      if (!out.good()) throw std::runtime_error("write failed");
+    }
+    fs::rename(tmp, path_);
+  }
+
+  static void write_map(std::ostream& out, const std::map<std::string, double>& m) {
+    bool first = true;
+    for (const auto& [k, v] : m) {
+      out << (first ? "" : ",") << json_quote(k) << ':' << json_double(v);
+      first = false;
+    }
+  }
+
+  std::string name_;
+  int threads_;
+  int seeds_;
+  bool enabled_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+  std::map<std::string, double> metrics_;
+  std::map<std::string, double> host_metrics_;
+  std::map<std::string, double> cache_;
+  bool have_cache_ = false;
+  prof::ProfileRollup profile_;
+};
 
 }  // namespace ones::bench

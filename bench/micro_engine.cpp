@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "micro_report.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -83,4 +84,6 @@ BENCHMARK(BM_EngineBurstDrain)->Arg(1 << 14)->Arg(1 << 18);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ones::bench::run_micro_bench("micro_engine", argc, argv);
+}

@@ -10,6 +10,7 @@
 #include "core/evolution.hpp"
 #include "core/ones_scheduler.hpp"
 #include "harness.hpp"
+#include "micro_report.hpp"
 #include "predict/progress_predictor.hpp"
 #include "sched/fifo.hpp"
 #include "sched/simulation.hpp"
@@ -196,10 +197,5 @@ BENCHMARK(BM_FullFifoSimulation)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  ones::bench::ScopedTimer bench_timer("micro_evolution");
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return ones::bench::run_micro_bench("micro_evolution", argc, argv);
 }

@@ -1,0 +1,68 @@
+// Shared main() body for the google-benchmark micro benches. Normalizes
+// them onto the orchestrated benches' CLI (exp::parse_bench_cli — so
+// `--threads` / `--no-progress` / `--bench-json` are accepted everywhere,
+// even where only google-benchmark consumes timing knobs) and emits the
+// canonical BENCH_<name>.json via bench::BenchReport. `--benchmark_*` flags
+// pass through to google-benchmark verbatim.
+//
+// Per-benchmark real times land in the report's HOST metrics section: they
+// are wall-clock measurements, which tools/bench_diff compares warn-only.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace ones::bench {
+
+/// Prints the usual google-benchmark console table and mirrors every
+/// per-iteration real time (nanoseconds) into the BenchReport.
+class ReportingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsoleReporter(BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      report_.host_metric("real_ns." + run.benchmark_name(),
+                          run.real_accumulated_time / iters * 1e9);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport& report_;
+};
+
+/// The shared micro-bench main: parse the normalized CLI, forward the
+/// `--benchmark_*` remainder to google-benchmark, run under the reporting
+/// reporter, write BENCH_<name>.json on exit.
+inline int run_micro_bench(const std::string& name, int argc, char** argv) {
+  std::vector<char*> gb_args;
+  if (argc > 0) gb_args.push_back(argv[0]);
+  const auto opt = exp::parse_bench_cli(
+      argc, argv,
+      [&gb_args](const char* arg) {
+        if (std::strncmp(arg, "--benchmark_", 12) == 0) {
+          gb_args.push_back(const_cast<char*>(arg));
+          return true;
+        }
+        return false;
+      },
+      "  --benchmark_*   forwarded to google-benchmark (e.g. --benchmark_filter=RE)\n");
+  BenchReport report(name, opt);
+  int gb_argc = static_cast<int>(gb_args.size());
+  benchmark::Initialize(&gb_argc, gb_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_args.data())) return 1;
+  ReportingConsoleReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ones::bench

@@ -20,8 +20,8 @@
 using namespace ones;
 
 int main(int argc, char** argv) {
-  bench::ScopedTimer timer("pareto_energy");
   const auto opt = exp::parse_bench_cli(argc, argv);
+  bench::BenchReport report("pareto_energy", opt);
   const auto config = bench::paper_sim_config(8);  // 32 GPUs
   // Lightly contended on purpose: with a saturated cluster every scheduler
   // burns ~peak watts for the whole makespan and the JCT/energy axes
@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
   telemetry::MetricsRegistry bench_registry;
   exp::GridOptions grid = opt.grid;
   grid.registry = &bench_registry;
+  if (!grid.prof_dir.empty()) grid.prof = &report.profile();
 
   const auto runs = exp::run_grid(specs, grid);
   const auto pooled = bench::pool_by_factory(runs, grid_configs.size(), opt.seeds);
@@ -97,6 +98,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < pooled.size(); ++i) {
     std::printf("%-14s %s\n", grid_configs[i].label.c_str(),
                 telemetry::format_summary_row(pooled[i].summary).c_str());
+    report.metric("avg_jct." + grid_configs[i].label, pooled[i].summary.avg_jct);
+    report.metric("cluster_joules." + grid_configs[i].label,
+                  pooled[i].summary.cluster_joules);
   }
 
   // Non-dominated configurations under (avg JCT, cluster joules), both
@@ -129,6 +133,8 @@ int main(int argc, char** argv) {
                 grid_configs[i].label.c_str(), s.avg_jct, s.cluster_joules / 1e6,
                 s.cluster_joules / 1e3 / static_cast<double>(trace_config.num_jobs));
   }
+  report.metric("pareto_frontier_size", static_cast<double>(frontier.size()));
+  report.cache_stats_from(bench_registry);
   bench::print_cache_footer(bench_registry);
   return 0;
 }

@@ -23,8 +23,8 @@
 using namespace ones;
 
 int main(int argc, char** argv) {
-  bench::ScopedTimer timer("robustness_failures");
   const auto opt = exp::parse_bench_cli(argc, argv);
+  bench::BenchReport report("robustness_failures", opt);
   const auto config = bench::paper_sim_config(8);  // 32 GPUs
   const auto trace_config = bench::paper_trace_config(160, 9.0);
 
@@ -97,6 +97,7 @@ int main(int argc, char** argv) {
   telemetry::MetricsRegistry bench_registry;
   exp::GridOptions grid = opt.grid;
   grid.registry = &bench_registry;
+  if (!grid.prof_dir.empty()) grid.prof = &report.profile();
   const auto runs = exp::run_grid(specs, grid);
 
   std::printf("%-10s %-10s %6s %6s %10s %10s %6s\n", "regime", "scheduler", "done",
@@ -122,6 +123,10 @@ int main(int argc, char** argv) {
                   s.p90_jct, 100.0 * s.utilization);
       if (factories[fi].name == "ONES") ones_jct = s.avg_jct;
       if (factories[fi].name == "Tiresias") tiresias_jct = s.avg_jct;
+      report.metric("avg_jct." + factories[fi].name + "." + points[pi].label,
+                    s.avg_jct);
+      report.metric("completed." + factories[fi].name + "." + points[pi].label,
+                    static_cast<double>(pooled[fi].completed));
     }
     if (ones_jct > tiresias_jct) ones_still_ahead = false;
     pooled_by_point.push_back(std::move(pooled));
@@ -171,6 +176,8 @@ int main(int argc, char** argv) {
                 s.predictor().trained() && degenerate == 0 ? "OK" : "MISMATCH");
   }
 
+  report.metric("ones_still_ahead", ones_still_ahead ? 1.0 : 0.0);
+  report.cache_stats_from(bench_registry);
   bench::print_cache_footer(bench_registry);
   return 0;
 }

@@ -18,8 +18,8 @@
 using namespace ones;
 
 int main(int argc, char** argv) {
-  bench::ScopedTimer timer("table4_wilcoxon");
   const auto opt = exp::parse_bench_cli(argc, argv);
+  bench::BenchReport report("table4_wilcoxon", opt);
   const auto config = bench::paper_sim_config();
   const auto trace_config = bench::paper_trace_config();
   std::printf("Table 4: Wilcoxon significance tests on per-job JCT (%d paired jobs"
@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   telemetry::MetricsRegistry bench_registry;
   exp::GridOptions grid = opt.grid;
   grid.registry = &bench_registry;
+  if (!grid.prof_dir.empty()) grid.prof = &report.profile();
 
   const auto factories = bench::paper_factories();
   const auto specs = bench::seed_grid(factories, config, trace_config, opt.seeds);
@@ -43,12 +44,17 @@ int main(int argc, char** argv) {
     const auto res = stats::wilcoxon_signed_rank(x, y);
     std::printf("vs. %-10s %24.3e %30.5f\n", results[i].summary.scheduler.c_str(),
                 res.p_two_sided, res.p_greater);
+    const std::string& s = results[i].summary.scheduler;
+    report.metric("p_two_sided." + s, res.p_two_sided);
+    report.metric("p_greater." + s, res.p_greater);
     if (res.p_two_sided >= 0.05 || res.p_greater <= 0.95) all_significant = false;
   }
+  report.metric("all_significant", all_significant ? 1.0 : 0.0);
 
   std::printf("\nShape check vs the paper (two-sided p << 0.05 and one-sided\n"
               "negative p near 1 for every baseline): %s\n",
               all_significant ? "OK" : "MISMATCH");
+  report.cache_stats_from(bench_registry);
   bench::print_cache_footer(bench_registry);
   return 0;
 }

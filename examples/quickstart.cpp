@@ -12,14 +12,23 @@
 //
 // Pass --metrics-dir=PATH to also export each run's metrics registry
 // (quickstart_ones.timeline.csv / .prom / .metrics.json and the same for
-// FIFO — DESIGN.md §9). Neither flag changes the simulated results.
+// FIFO — DESIGN.md §9).
+//
+// Pass --prof-dir=PATH to also collect host-time profiler spans per run
+// (quickstart_ones.prof.json / quickstart_fifo.prof.json and a stderr span
+// table — DESIGN.md §14); with --trace-dir the spans additionally merge
+// into the .trace.json as a wall-clock track. None of the flags changes the
+// simulated results.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/ones_scheduler.hpp"
+#include "prof/export.hpp"
+#include "prof/profiler.hpp"
 #include "sched/fifo.hpp"
 #include "sched/simulation.hpp"
 #include "telemetry/exporters.hpp"
@@ -33,13 +42,17 @@ int main(int argc, char** argv) {
 
   std::string trace_dir;
   std::string metrics_dir;
+  std::string prof_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
       trace_dir = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-dir=", 14) == 0) {
       metrics_dir = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--prof-dir=", 11) == 0) {
+      prof_dir = argv[i] + 11;
     } else {
-      std::fprintf(stderr, "usage: %s [--trace-dir=PATH] [--metrics-dir=PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--trace-dir=PATH] [--metrics-dir=PATH] [--prof-dir=PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -72,6 +85,12 @@ int main(int argc, char** argv) {
     traced_config.trace_sink = writer.get();
     telemetry::MetricsRegistry registry;
     if (!metrics_dir.empty()) traced_config.metrics = &registry;
+    std::optional<prof::Profiler> profiler;
+    if (!prof_dir.empty()) {
+      profiler.emplace();
+      if (writer) profiler->enable_timeline();
+      traced_config.profiler = &*profiler;
+    }
     core::OnesScheduler ones_sched;
     sched::ClusterSimulation sim(traced_config, trace, ones_sched);
     sim.run();
@@ -80,6 +99,18 @@ int main(int argc, char** argv) {
       // Host-scope (wall-clock) instruments are stderr-only by contract.
       std::fprintf(stderr, "[host metrics] quickstart_ones\n%s",
                    telemetry::format_host_metrics(registry).c_str());
+    }
+    if (profiler) {
+      // Merge the host-span track into the Chrome trace only; the golden
+      // JSONL digest never sees profiler output.
+      if (writer) {
+        for (const auto& ev : prof::chrome_span_events(*profiler)) {
+          writer->chrome_raw_event(ev);
+        }
+      }
+      prof::write_profile_file(prof_dir, "quickstart_ones", profiler->stats());
+      std::fprintf(stderr, "[prof] quickstart_ones\n%s",
+                   prof::format_profile(profiler->stats()).c_str());
     }
     const auto s = sim.summary("ONES");
     std::printf("%s\n", telemetry::format_summary_row(s).c_str());
@@ -94,6 +125,12 @@ int main(int argc, char** argv) {
     traced_config.trace_sink = writer.get();
     telemetry::MetricsRegistry registry;
     if (!metrics_dir.empty()) traced_config.metrics = &registry;
+    std::optional<prof::Profiler> profiler;
+    if (!prof_dir.empty()) {
+      profiler.emplace();
+      if (writer) profiler->enable_timeline();
+      traced_config.profiler = &*profiler;
+    }
     sched::FifoScheduler fifo;
     sched::ClusterSimulation sim(traced_config, trace, fifo);
     sim.run();
@@ -101,6 +138,16 @@ int main(int argc, char** argv) {
       telemetry::write_metrics_files(registry, metrics_dir, "quickstart_fifo");
       std::fprintf(stderr, "[host metrics] quickstart_fifo\n%s",
                    telemetry::format_host_metrics(registry).c_str());
+    }
+    if (profiler) {
+      if (writer) {
+        for (const auto& ev : prof::chrome_span_events(*profiler)) {
+          writer->chrome_raw_event(ev);
+        }
+      }
+      prof::write_profile_file(prof_dir, "quickstart_fifo", profiler->stats());
+      std::fprintf(stderr, "[prof] quickstart_fifo\n%s",
+                   prof::format_profile(profiler->stats()).c_str());
     }
     const auto s = sim.summary("FIFO");
     std::printf("%s\n", telemetry::format_summary_row(s).c_str());
@@ -111,6 +158,9 @@ int main(int argc, char** argv) {
   }
   if (!metrics_dir.empty()) {
     std::printf("metrics written to %s/\n", metrics_dir.c_str());
+  }
+  if (!prof_dir.empty()) {
+    std::printf("profiles written to %s/\n", prof_dir.c_str());
   }
   return 0;
 }

@@ -1,0 +1,23 @@
+#include "common/host.hpp"
+
+#include <cstdio>
+
+namespace ones::common {
+
+double peak_rss_mib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double kib = 0.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long v = 0;
+    if (std::sscanf(line, "VmHWM: %ld kB", &v) == 1) {
+      kib = static_cast<double>(v);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib / 1024.0;
+}
+
+}  // namespace ones::common

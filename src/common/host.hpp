@@ -1,0 +1,13 @@
+// Host-process introspection helpers. Diagnostics only: everything here
+// reads OS state, so callers may print the values to stderr or put them in
+// the machine-readable BENCH_*.json host section — never on the byte-stable
+// metric stdout and never into a simulated quantity.
+#pragma once
+
+namespace ones::common {
+
+/// Peak resident set size (VmHWM) in MiB from /proc/self/status. Portable
+/// fallback: returns 0.0 where /proc is absent (non-Linux) or unreadable.
+double peak_rss_mib();
+
+}  // namespace ones::common

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "common/expect.hpp"
 #include "energy/power_model.hpp"
@@ -421,6 +422,10 @@ void Evolution::ensure_population(const EvolutionContext& ctx) {
 }
 
 void Evolution::step(const EvolutionContext& ctx) {
+  // One evolution generation (DESIGN.md §14): phase spans cover refresh,
+  // offspring production (crossover + mutation + repair/reorder) and
+  // selection, nested under `evolve.step`.
+  const prof::Scope step_span(profiler_, "evolve.step");
   ensure_population(ctx);
   const std::size_t k = population_size(ctx);
   std::uint64_t crossovers = 0, mutations = 0, reorders = 0;
@@ -428,18 +433,23 @@ void Evolution::step(const EvolutionContext& ctx) {
   // Refresh the whole population against real-time status (elitism: the
   // refreshed originals compete with their offspring). Health first: cached
   // genomes may predate a failure/repair (DESIGN.md §13).
-  for (auto& cand : population_) {
-    cand.sync_health(*ctx.state->current);
-    refresh(cand, ctx);
-    if (config_.use_reorder) {
-      cand = reorder(cand);
-      ++reorders;
+  {
+    const prof::Scope refresh_span(profiler_, "evolve.refresh");
+    for (auto& cand : population_) {
+      cand.sync_health(*ctx.state->current);
+      refresh(cand, ctx);
+      if (config_.use_reorder) {
+        cand = reorder(cand);
+        ++reorders;
+      }
     }
   }
 
   std::vector<cluster::Assignment> cands = population_;
   cands.reserve(4 * k + 1);
 
+  std::optional<prof::Scope> offspring_span;
+  if (profiler_ != nullptr) offspring_span.emplace(profiler_, "evolve.offspring");
   // The incumbent (live schedule) always competes: unless a challenger beats
   // it including switching costs, ONES keeps the cluster undisturbed.
   {
@@ -489,8 +499,11 @@ void Evolution::step(const EvolutionContext& ctx) {
     }
   }
 
+  offspring_span.reset();
+
   // Selection: score every candidate under one rho draw (Algorithm 1) and
   // keep the best K.
+  const prof::Scope select_span(profiler_, "evolve.select");
   const RhoMap rho = sample_rho(ctx);
   std::vector<double> scores(cands.size());
   for (std::size_t i = 0; i < cands.size(); ++i) scores[i] = score(cands[i], ctx, rho);

@@ -25,6 +25,7 @@
 #include "common/rng.hpp"
 #include "core/batch_policy.hpp"
 #include "predict/progress_predictor.hpp"
+#include "prof/profiler.hpp"
 #include "sched/oracle.hpp"
 #include "sched/scheduler.hpp"
 #include "telemetry/registry.hpp"
@@ -99,6 +100,13 @@ class Evolution {
   /// (`ones_best_score`, `ones_population_size`). Never affects the search.
   void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Optional host-time profiler (not owned; null — the default — disables
+  /// the span sites at one branch each). `step` runs under an `evolve.step`
+  /// span with nested `evolve.refresh` / `evolve.offspring` /
+  /// `evolve.select` operator-phase spans (DESIGN.md §14). Never affects
+  /// the search.
+  void set_profiler(prof::Profiler* profiler) { profiler_ = profiler; }
+
   /// One full evolution iteration: refresh -> operators -> select.
   void step(const EvolutionContext& ctx);
 
@@ -153,6 +161,7 @@ class Evolution {
   Rng rng_;
   std::vector<cluster::Assignment> population_;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  prof::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace ones::core

@@ -51,6 +51,14 @@ class OnesScheduler : public sched::Scheduler {
     predictor_.set_metrics(metrics);
   }
 
+  /// Propagates the profiler the same way (DESIGN.md §14): evolution
+  /// operator spans and predictor fit spans land in the run's profile.
+  void set_profiler(prof::Profiler* profiler) override {
+    sched::Scheduler::set_profiler(profiler);
+    evolution_.set_profiler(profiler);
+    predictor_.set_profiler(profiler);
+  }
+
   // ---- introspection (tests, examples, benches) ----
   const predict::ProgressPredictor& predictor() const { return predictor_; }
   const BatchLimitManager& limits() const { return limits_; }

@@ -54,6 +54,7 @@ void ScalingSession::log_event(const std::string& what) {
 }
 
 void ScalingSession::start() {
+  const prof::Scope span(profiler_, "elastic.stage");
   ONES_EXPECT_MSG(phase_ == SessionPhase::Pending, "ScalingSession::start called twice");
   report_.started_at = engine_.now();
   log_event("scheduler sends new configuration to worker managers");
@@ -77,6 +78,7 @@ void ScalingSession::start() {
 
 void ScalingSession::on_worker_lost(GpuId gpu) {
   if (phase_ == SessionPhase::Done || phase_ == SessionPhase::RolledBack) return;
+  const prof::Scope span(profiler_, "elastic.stage");
   auto drop = [gpu](std::vector<GpuId>& v) {
     const auto it = std::find(v.begin(), v.end(), gpu);
     if (it == v.end()) return false;
@@ -150,6 +152,7 @@ void ScalingSession::roll_back() {
 }
 
 void ScalingSession::on_new_workers_ready() {
+  const prof::Scope span(profiler_, "elastic.stage");
   pending_ = 0;
   report_.new_workers_ready_at = engine_.now();
   log_event("new workers ready; controller notifies previous workers");
@@ -170,6 +173,7 @@ void ScalingSession::on_new_workers_ready() {
 }
 
 void ScalingSession::on_previous_drained() {
+  const prof::Scope span(profiler_, "elastic.stage");
   pending_ = 0;
   report_.paused_at = engine_.now();
   log_event("previous workers drained their step and quit the old topology");
@@ -186,6 +190,7 @@ void ScalingSession::begin_reconnect() {
 }
 
 void ScalingSession::on_reconnected() {
+  const prof::Scope span(profiler_, "elastic.stage");
   pending_ = 0;
   log_event("all workers connected to the new topology; modules resized");
   if (!added_.empty()) {
@@ -200,6 +205,7 @@ void ScalingSession::on_reconnected() {
 }
 
 void ScalingSession::on_broadcast_done() {
+  const prof::Scope span(profiler_, "elastic.stage");
   pending_ = 0;
   phase_ = SessionPhase::Done;
   report_.resumed_at = engine_.now();
@@ -219,7 +225,9 @@ ScalingReport run_checkpoint_migration(sim::SimEngine& engine,
                                        const model::TaskProfile& profile,
                                        const CostConfig& costs,
                                        const ScalingRequest& request,
-                                       telemetry::MetricsRegistry* metrics) {
+                                       telemetry::MetricsRegistry* metrics,
+                                       prof::Profiler* profiler) {
+  const prof::Scope span(profiler, "elastic.checkpoint");
   ONES_EXPECT(!request.new_workers.empty());
   ScalingReport report;
   report.started_at = engine.now();

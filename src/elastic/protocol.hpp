@@ -24,6 +24,7 @@
 #include "common/ids.hpp"
 #include "elastic/cost_model.hpp"
 #include "model/task.hpp"
+#include "prof/profiler.hpp"
 #include "sim/engine.hpp"
 #include "telemetry/registry.hpp"
 
@@ -120,6 +121,11 @@ class ScalingSession {
   /// `elastic_last_blocked_seconds` gauge. Set before start().
   void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Optional host-time profiler (not owned; null — the default — costs one
+  /// branch per stage). Each protocol stage handler runs under an
+  /// `elastic.stage` span (DESIGN.md §14); never affects the session.
+  void set_profiler(prof::Profiler* profiler) { profiler_ = profiler; }
+
  private:
   void log_event(const std::string& what);
   void on_new_workers_ready();
@@ -137,6 +143,7 @@ class ScalingSession {
   std::function<void(const ScalingReport&)> on_done_;
   std::function<void(double, const std::string&)> phase_hook_;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  prof::Profiler* profiler_ = nullptr;
   ScalingReport report_;
   std::vector<GpuId> added_;
   std::vector<GpuId> kept_;
@@ -148,10 +155,13 @@ class ScalingSession {
 /// HDFS, reschedule, restart, reload. The whole session blocks training.
 /// A non-null `metrics` records `checkpoint_migrations_total`,
 /// `checkpoint_blocked_seconds_total` and `checkpoint_last_blocked_seconds`.
+/// A non-null `profiler` runs the migration under an `elastic.checkpoint`
+/// host-time span (DESIGN.md §14); neither ever affects the report.
 ScalingReport run_checkpoint_migration(sim::SimEngine& engine,
                                        const model::TaskProfile& profile,
                                        const CostConfig& costs,
                                        const ScalingRequest& request,
-                                       telemetry::MetricsRegistry* metrics = nullptr);
+                                       telemetry::MetricsRegistry* metrics = nullptr,
+                                       prof::Profiler* profiler = nullptr);
 
 }  // namespace ones::elastic

@@ -16,13 +16,17 @@ namespace {
 void print_usage(std::FILE* out, const char* prog, const char* extra_usage) {
   std::fprintf(out,
                "usage: %s [--threads=N] [--seeds=K] [--no-cache] [--cache-dir=PATH]\n"
-               "          [--trace-dir=PATH] [--metrics-dir=PATH] [--no-progress] [--help]\n"
+               "          [--trace-dir=PATH] [--metrics-dir=PATH] [--prof-dir=PATH]\n"
+               "          [--bench-json=PATH] [--no-bench-json] [--no-progress] [--help]\n"
                "  --threads=N     worker threads (default: hardware concurrency, %d)\n"
                "  --seeds=K       trace seeds per configuration (default: 1)\n"
                "  --no-cache      bypass the on-disk result cache\n"
                "  --cache-dir=P   cache directory (default: .ones-cache)\n"
                "  --trace-dir=P   write JSONL + Chrome traces per executed run\n"
                "  --metrics-dir=P write timeline CSV + Prometheus + JSON metrics per executed run\n"
+               "  --prof-dir=P    write host-time span profiles per executed run\n"
+               "  --bench-json=P  machine-readable results file (default: BENCH_<name>.json)\n"
+               "  --no-bench-json skip the machine-readable results file\n"
                "  --no-progress   silence the stderr progress/ETA reporter\n",
                prog, default_threads());
   if (extra_usage != nullptr) std::fputs(extra_usage, out);
@@ -74,6 +78,12 @@ BenchOptions parse_bench_cli(int argc, char** argv,
       opt.grid.trace_dir = arg + 12;
     } else if (std::strncmp(arg, "--metrics-dir=", 14) == 0) {
       opt.grid.metrics_dir = arg + 14;
+    } else if (std::strncmp(arg, "--prof-dir=", 11) == 0) {
+      opt.grid.prof_dir = arg + 11;
+    } else if (std::strncmp(arg, "--bench-json=", 13) == 0) {
+      opt.bench_json = arg + 13;
+    } else if (std::strcmp(arg, "--no-bench-json") == 0) {
+      opt.write_bench_json = false;
     } else if (std::strcmp(arg, "--no-progress") == 0) {
       opt.grid.progress = false;
     } else if (extra && extra(arg)) {
@@ -86,6 +96,7 @@ BenchOptions parse_bench_cli(int argc, char** argv,
   }
   validate_output_dir(opt.grid.trace_dir, "--trace-dir", prog);
   validate_output_dir(opt.grid.metrics_dir, "--metrics-dir", prog);
+  validate_output_dir(opt.grid.prof_dir, "--prof-dir", prog);
   return opt;
 }
 

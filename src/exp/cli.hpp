@@ -5,6 +5,9 @@
 //   --cache-dir=P   cache directory (default: .ones-cache)
 //   --trace-dir=P   write a structured trace per executed run (off by default)
 //   --metrics-dir=P write metrics exports per executed run (off by default)
+//   --prof-dir=P    write host-time profiles per executed run (off by default)
+//   --bench-json=P  machine-readable bench results file (default: BENCH_<name>.json)
+//   --no-bench-json skip the bench results file
 //   --no-progress   silence the stderr progress reporter
 //   --help          print usage and exit
 //
@@ -22,13 +25,18 @@ struct BenchOptions {
   GridOptions grid;
   /// Seeds swept per grid configuration: base_seed .. base_seed + seeds - 1.
   int seeds = 1;
+  /// Canonical machine-readable results file (bench::BenchReport). Empty —
+  /// the default — means `BENCH_<bench name>.json` in the working directory.
+  std::string bench_json;
+  /// `--no-bench-json` turns the results file off entirely.
+  bool write_bench_json = true;
 };
 
 /// Number of worker threads to default to (hardware concurrency, >= 1).
 int default_threads();
 
 /// Parse bench flags; exits the process on --help (0) or bad usage (2).
-/// `--trace-dir`/`--metrics-dir` are validated up front via
+/// `--trace-dir`/`--metrics-dir`/`--prof-dir` are validated up front via
 /// `validate_output_dir`, so an unwritable path fails in milliseconds
 /// instead of after the first executed run.
 BenchOptions parse_bench_cli(int argc, char** argv);

@@ -12,6 +12,7 @@
 #include "common/expect.hpp"
 #include "common/math_util.hpp"
 #include "exp/progress.hpp"
+#include "prof/export.hpp"
 #include "sched/simulation.hpp"
 #include "telemetry/exporters.hpp"
 #include "workload/trace.hpp"
@@ -47,7 +48,7 @@ RunResult run_simulation(const sched::SimulationConfig& config,
 }
 
 RunResult execute_run(const RunSpec& spec, trace::TraceSink* trace_sink,
-                      telemetry::MetricsRegistry* metrics) {
+                      telemetry::MetricsRegistry* metrics, prof::Profiler* profiler) {
   ONES_EXPECT_MSG(static_cast<bool>(spec.factory), "RunSpec has no scheduler factory");
   const auto trace = workload::generate_trace(spec.trace);
   const auto scheduler = spec.factory();
@@ -55,6 +56,7 @@ RunResult execute_run(const RunSpec& spec, trace::TraceSink* trace_sink,
   sched::SimulationConfig config = spec.sim;
   config.trace_sink = trace_sink;
   config.metrics = metrics;
+  config.profiler = profiler;
   return run_simulation(config, trace, *scheduler);
 }
 
@@ -86,10 +88,23 @@ std::vector<RunResult> run_grid(const std::vector<RunSpec>& specs,
   ProgressReporter progress(specs.size(), options.progress);
   std::vector<RunResult> results(specs.size());
 
+  // Host-time profiling (DESIGN.md §14) is on when either sink is attached;
+  // like tracing/metrics it never reaches the cache key or the results.
+  const bool profiling = !options.prof_dir.empty() || options.prof != nullptr;
+  // Orchestrator-level spans (cache probes) collect on this serial-phase
+  // profiler; per-run spans collect on per-worker profilers below.
+  std::optional<prof::Profiler> grid_prof;
+  if (profiling) grid_prof.emplace();
+
   // Resolve cache hits up front (cheap I/O, serial) and queue the misses.
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    if (auto hit = cache.load(specs[i])) {
+    std::optional<RunResult> hit;
+    {
+      const prof::Scope span(grid_prof ? &*grid_prof : nullptr, "cache.read");
+      hit = cache.load(specs[i]);
+    }
+    if (hit) {
       results[i] = std::move(*hit);
       progress.on_cached(run_label(specs[i]));
     } else {
@@ -105,6 +120,7 @@ std::vector<RunResult> run_grid(const std::vector<RunSpec>& specs,
     std::atomic<bool> abort{false};
     std::exception_ptr first_error;
     std::mutex error_mu;
+    std::mutex prof_mu;  // guards the shared ProfileRollup merge
 
     auto worker = [&]() {
       while (!abort.load(std::memory_order_relaxed)) {
@@ -118,20 +134,56 @@ std::vector<RunResult> run_grid(const std::vector<RunSpec>& specs,
           if (!options.trace_dir.empty()) {
             writer.emplace(options.trace_dir, cache_key(specs[i]));
           }
+          // One profiler per executed run: spans aggregate by path, never by
+          // thread, so the merged rollup is independent of the thread count.
+          std::optional<prof::Profiler> profiler;
+          if (profiling) {
+            profiler.emplace();
+            if (writer) profiler->enable_timeline();  // feeds the Chrome merge
+          }
+          prof::Profiler* prof_ptr = profiler ? &*profiler : nullptr;
           if (options.metrics_dir.empty()) {
-            results[i] = execute_run(specs[i], writer ? &*writer : nullptr);
+            results[i] = execute_run(specs[i], writer ? &*writer : nullptr, nullptr,
+                                     prof_ptr);
           } else {
             telemetry::MetricsRegistry registry;
-            results[i] = execute_run(specs[i], writer ? &*writer : nullptr, &registry);
+            results[i] =
+                execute_run(specs[i], writer ? &*writer : nullptr, &registry, prof_ptr);
+            const prof::Scope span(prof_ptr, "export.metrics");
             telemetry::write_metrics_files(registry, options.metrics_dir,
                                            cache_key(specs[i]));
           }
-          if (writer) writer->close();
+          if (writer) {
+            if (profiler) {
+              // Merge the host-span track into the Chrome trace only — the
+              // deterministic JSONL stream (the golden-digest format) never
+              // sees profiler output. The export.trace span itself lands in
+              // the .prof.json rollup, not in the already-snapshot timeline.
+              const prof::Scope span(&*profiler, "export.trace");
+              for (const std::string& ev : prof::chrome_span_events(*profiler)) {
+                writer->chrome_raw_event(ev);
+              }
+            }
+            writer->close();
+          }
           const double wall_s =
               // ones-lint: wall-clock-ok(cosmetic: progress/ETA reporting on stderr)
               std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                   .count();
-          cache.store(specs[i], results[i]);
+          {
+            const prof::Scope span(prof_ptr, "cache.write");
+            cache.store(specs[i], results[i]);
+          }
+          if (profiler) {
+            if (!options.prof_dir.empty()) {
+              prof::write_profile_file(options.prof_dir, cache_key(specs[i]),
+                                       profiler->stats());
+            }
+            if (options.prof != nullptr) {
+              const std::lock_guard<std::mutex> lock(prof_mu);
+              options.prof->add(*profiler);
+            }
+          }
           progress.on_done(run_label(specs[i]), wall_s);
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mu);
@@ -154,6 +206,8 @@ std::vector<RunResult> run_grid(const std::vector<RunSpec>& specs,
     }
     if (first_error) std::rethrow_exception(first_error);
   }
+
+  if (options.prof != nullptr && grid_prof) options.prof->add(*grid_prof);
 
   if (options.registry != nullptr) {
     auto& reg = *options.registry;

@@ -20,6 +20,7 @@
 #include "exp/cache.hpp"
 #include "exp/result.hpp"
 #include "exp/run_spec.hpp"
+#include "prof/profiler.hpp"
 #include "telemetry/registry.hpp"
 #include "trace/sink.hpp"
 
@@ -49,15 +50,31 @@ struct GridOptions {
   /// `exp_cache_{hits,misses,demotions,stores}_total` and
   /// `exp_runs_executed_total`.
   telemetry::MetricsRegistry* registry = nullptr;
+  /// When non-empty, every EXECUTED run owns a host-time prof::Profiler and
+  /// exports `<cache_key>.prof.json` into this directory (DESIGN.md §14).
+  /// Same contract as trace_dir/metrics_dir: cache-served runs emit nothing,
+  /// profiling never affects results, and the directory is NOT a cache-key
+  /// input. When trace_dir is also set, each run's span timeline is merged
+  /// into its `.trace.json` as a separate wall-clock process track (the
+  /// deterministic `.jsonl` stream is untouched).
+  std::string prof_dir;
+  /// Optional grid-level rollup (not owned). When non-null, profiling is on
+  /// even without prof_dir and every run's spans (plus the orchestrator's
+  /// own `cache.read`/`cache.write` spans) are aggregated into it by span
+  /// path — a deterministic merge independent of thread count.
+  prof::ProfileRollup* prof = nullptr;
 };
 
 /// Execute one simulation: build the scheduler from the spec's factory,
 /// generate the trace, run, and collect metrics. (Also the body of each
 /// orchestrator worker; exposed for benches that run a single config.)
 /// `trace_sink`, when non-null, receives the run's structured trace;
-/// `metrics`, when non-null, receives the run's instrument emissions.
+/// `metrics`, when non-null, receives the run's instrument emissions;
+/// `profiler`, when non-null, collects the run's host-time spans. None of
+/// the three may change results (asserted in tests/exp_test.cpp).
 RunResult execute_run(const RunSpec& spec, trace::TraceSink* trace_sink = nullptr,
-                      telemetry::MetricsRegistry* metrics = nullptr);
+                      telemetry::MetricsRegistry* metrics = nullptr,
+                      prof::Profiler* profiler = nullptr);
 
 /// Collect metrics from an already-constructed simulation setup (the legacy
 /// single-run path used by light benches and examples).

@@ -93,6 +93,7 @@ void ProgressPredictor::observe_completed_job(const sched::JobView& job) {
 }
 
 void ProgressPredictor::fit() {
+  const prof::Scope span(profiler_, "predict.fit");
   if (points_.size() < 8) return;  // not enough evidence yet
   const std::size_t n = points_.size();
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "prof/profiler.hpp"
 #include "sched/scheduler.hpp"
 #include "stats/beta.hpp"
 #include "telemetry/registry.hpp"
@@ -85,6 +86,11 @@ class ProgressPredictor {
   /// so the gauge tracks true out-of-sample error. Never affects predictions.
   void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Optional host-time profiler (not owned; null disables the span site).
+  /// Each refit runs under a `predict.fit` span (DESIGN.md §14); never
+  /// affects predictions.
+  void set_profiler(prof::Profiler* profiler) { profiler_ = profiler; }
+
  private:
   void add_point(TrainingPoint point);
 
@@ -97,6 +103,7 @@ class ProgressPredictor {
   std::size_t completed_jobs_ = 0;
   Rng rng_;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  prof::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace ones::predict

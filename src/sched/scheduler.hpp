@@ -22,6 +22,10 @@ namespace ones::telemetry {
 class MetricsRegistry;
 }
 
+namespace ones::prof {
+class Profiler;
+}
+
 namespace ones::energy {
 class PowerModel;
 }
@@ -151,11 +155,21 @@ class Scheduler {
   /// default, every emission site null-guarded, never affects decisions.
   virtual void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Install (or clear) the host-time profiler for policy-internal spans
+  /// (ONES's evolution operator steps, the predictor's fits — DESIGN.md
+  /// §14). Virtual for the same reason as set_metrics: composite schedulers
+  /// propagate the pointer to their sub-components. Identical contract:
+  /// not owned, null by default, every span site costs one branch when off,
+  /// and profiling never affects decisions.
+  virtual void set_profiler(prof::Profiler* profiler) { profiler_ = profiler; }
+
  protected:
   /// Null by default: emission sites must check before building a record.
   trace::TraceSink* trace_sink_ = nullptr;
   /// Null by default: emission sites must check before recording.
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  /// Null by default: span sites cost one branch until a profiler attaches.
+  prof::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace ones::sched

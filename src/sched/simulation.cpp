@@ -160,12 +160,18 @@ ClusterSimulation::ClusterSimulation(const SimulationConfig& config,
     frag_scatter_series_ = registry_->timeline().series("frag_scatter_index");
     energy_.set_metrics(registry_);
   }
+  if (config.profiler != nullptr) {
+    profiler_ = config.profiler;
+    engine_.set_profiler(profiler_);
+    scheduler_.set_profiler(profiler_);
+  }
 }
 
 ClusterSimulation::~ClusterSimulation() {
   // The stamper dies with this object; never leave the scheduler pointing at it.
   if (sink_ != nullptr) scheduler_.set_trace_sink(nullptr);
   if (registry_ != nullptr) scheduler_.set_metrics(nullptr);
+  if (profiler_ != nullptr) scheduler_.set_profiler(nullptr);
 }
 
 ClusterSimulation::JobRuntime& ClusterSimulation::runtime(JobId job) {
@@ -708,6 +714,11 @@ void ClusterSimulation::notify(EventKind kind, JobId job) {
                       .detail = event_name(kind)});
   }
   in_notify_ = true;
+  // Per-event-kind decision span ("decision/JobArrival", ... — DESIGN.md
+  // §14); everything the policy does (evolution steps, predictor fits)
+  // nests underneath.
+  const prof::Scope decision_span(profiler_, "decision");
+  const prof::Scope kind_span(profiler_, event_name(kind));
   const ClusterState& state = make_state();
   // Wall-clock is allowed here ONLY because the decision histogram is
   // Host-scope: stderr diagnostics, never exported to a file or fed back
@@ -764,6 +775,7 @@ void ClusterSimulation::validate(const cluster::Assignment& next) const {
 }
 
 void ClusterSimulation::apply(cluster::Assignment next) {
+  const prof::Scope span(profiler_, "apply");
   validate(next);
   const double now = engine_.now();
   ++deployments_;

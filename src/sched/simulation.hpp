@@ -68,6 +68,12 @@ struct SimulationConfig {
   /// as the trace sink: deliberately NOT part of the orchestrator cache key,
   /// and attaching a registry must never change results (DESIGN.md §9).
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Host-time profiler (not owned; null — the default — disables all span
+  /// sites at one branch each). The driver wires it into the engine and the
+  /// scheduler. Same contract as the trace sink and metrics registry:
+  /// deliberately NOT part of the orchestrator cache key, and attaching a
+  /// profiler must never change results (DESIGN.md §14).
+  prof::Profiler* profiler = nullptr;
 };
 
 class ClusterSimulation {
@@ -207,6 +213,10 @@ class ClusterSimulation {
   /// Null unless a registry is attached via SimulationConfig::metrics; every
   /// emission below checks it, so disabled metrics cost one branch.
   telemetry::MetricsRegistry* registry_ = nullptr;
+  /// Null unless a profiler is attached via SimulationConfig::profiler
+  /// (DESIGN.md §14); every span site checks it, so profiling off costs one
+  /// branch.
+  prof::Profiler* profiler_ = nullptr;
   telemetry::TimelineSampler::SeriesId queue_series_ = 0;
   telemetry::TimelineSampler::SeriesId busy_series_ = 0;
   telemetry::TimelineSampler::SeriesId frag_idle_series_ = 0;

@@ -173,6 +173,7 @@ SimEngine::MinRef SimEngine::find_min() {
 }
 
 EventId SimEngine::schedule_at(SimTime when, std::function<void()> fn) {
+  const prof::Scope span(profiler_, "engine.schedule");
   ONES_EXPECT_MSG(std::isfinite(when), "event time must be finite");
   ONES_EXPECT_MSG(when >= now_, "cannot schedule events in the past");
   ONES_EXPECT(fn != nullptr);
@@ -194,6 +195,7 @@ EventId SimEngine::schedule_after(SimTime delay, std::function<void()> fn) {
 }
 
 bool SimEngine::cancel(EventId id) {
+  const prof::Scope span(profiler_, "engine.cancel");
   const std::uint32_t idx = static_cast<std::uint32_t>(id & 0xffffffffULL);
   const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
   if (idx >= arena_.size() || arena_[idx].gen != gen) return false;
@@ -208,19 +210,26 @@ bool SimEngine::cancel(EventId id) {
 
 bool SimEngine::step() {
   if (live_ == 0) return false;
-  const MinRef min = find_min();
-  Bucket& b = buckets_[min.bucket];
-  ONES_EXPECT(!b.empty() && b.back() == min.idx);
-  b.pop_back();
-  // Release the slot *before* running the callback: a self-cancel from
-  // inside the callback must see a stale handle (deterministic no-op), and
-  // the callback may schedule new events, which can reallocate the arena —
-  // so the callback is moved out first and no Event reference is held.
-  std::function<void()> fn = std::move(arena_[min.idx].fn);
-  const SimTime when = arena_[min.idx].when;
-  free_slot(min.idx);
-  now_ = when;
-  ++fired_;
+  std::function<void()> fn;
+  {
+    // Extraction only — the callback runs outside this span, so spans it
+    // opens (scheduler decisions, nested schedules) are not charged to the
+    // engine's pop path.
+    const prof::Scope span(profiler_, "engine.pop");
+    const MinRef min = find_min();
+    Bucket& b = buckets_[min.bucket];
+    ONES_EXPECT(!b.empty() && b.back() == min.idx);
+    b.pop_back();
+    // Release the slot *before* running the callback: a self-cancel from
+    // inside the callback must see a stale handle (deterministic no-op), and
+    // the callback may schedule new events, which can reallocate the arena —
+    // so the callback is moved out first and no Event reference is held.
+    fn = std::move(arena_[min.idx].fn);
+    const SimTime when = arena_[min.idx].when;
+    free_slot(min.idx);
+    now_ = when;
+    ++fired_;
+  }
   if (fire_hook_) fire_hook_(now_, fired_);
   fn();
   maybe_resize();

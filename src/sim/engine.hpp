@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/expect.hpp"
+#include "prof/profiler.hpp"
 
 namespace ones::sim {
 
@@ -79,6 +80,13 @@ class SimEngine {
     fire_hook_ = std::move(hook);
   }
 
+  /// Install (or clear, with nullptr) the host-time profiler (DESIGN.md
+  /// §14): schedule / cancel / pop then run under `engine.schedule` /
+  /// `engine.cancel` / `engine.pop` spans. Same contract as the fire hook:
+  /// not owned, null by default, one branch per site when off, and
+  /// attaching it never changes event order or results.
+  void set_profiler(prof::Profiler* profiler) { profiler_ = profiler; }
+
  private:
   /// Arena entry. `gen` survives the slot's whole lifetime: it is bumped on
   /// every free (fire or cancel), so a handle minted at generation g stops
@@ -126,6 +134,7 @@ class SimEngine {
 
   SimTime now_ = 0.0;
   std::function<void(SimTime, std::uint64_t)> fire_hook_;
+  prof::Profiler* profiler_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
 

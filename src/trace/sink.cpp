@@ -47,6 +47,11 @@ void ChromeTraceSink::emit(const std::string& event_json) {
   first_ = false;
 }
 
+void ChromeTraceSink::raw_event(const std::string& event_json) {
+  if (closed_) throw std::logic_error("ChromeTraceSink: raw_event after close()");
+  emit(event_json);
+}
+
 void ChromeTraceSink::instant(const TraceRecord& r, const std::string& name) {
   std::ostringstream os;
   os << "{\"name\":" << json_quote(name) << ",\"cat\":\"job\",\"ph\":\"i\",\"s\":\"t\""
@@ -200,6 +205,11 @@ RunTraceWriter::~RunTraceWriter() {
 void RunTraceWriter::on_record(const TraceRecord& record) {
   jsonl_->on_record(record);
   chrome_->on_record(record);
+}
+
+void RunTraceWriter::chrome_raw_event(const std::string& event_json) {
+  if (closed_) throw std::logic_error("RunTraceWriter: chrome_raw_event after close()");
+  chrome_->raw_event(event_json);
 }
 
 void RunTraceWriter::close() {

@@ -64,6 +64,11 @@ class ChromeTraceSink final : public TraceSink {
   void on_record(const TraceRecord& record) override;
   void close();
 
+  /// Append a pre-serialized trace event verbatim (one JSON object, no
+  /// trailing comma). The host-time profiler merges its wall-clock span
+  /// track through this (DESIGN.md §14); the caller owns the JSON shape.
+  void raw_event(const std::string& event_json);
+
  private:
   void emit(const std::string& event_json);
   void instant(const TraceRecord& r, const std::string& name);
@@ -134,6 +139,11 @@ class RunTraceWriter final : public TraceSink {
   ~RunTraceWriter() override;
   void on_record(const TraceRecord& record) override;
   void close();
+
+  /// Forward a pre-serialized event into the Chrome (.trace.json) file ONLY.
+  /// The deterministic JSONL stream — the replay / golden-digest format —
+  /// never sees it, so merged host-profiler tracks cannot move the digest.
+  void chrome_raw_event(const std::string& event_json);
 
   const std::string& jsonl_path() const { return jsonl_path_; }
   const std::string& chrome_path() const { return chrome_path_; }

@@ -327,6 +327,14 @@ TEST(ExpJson, RejectsMalformedAndWrongSchema) {
 
 TEST(ExpCli, DefaultThreadsIsPositive) { EXPECT_GE(default_threads(), 1); }
 
+TEST(ExpCliDeathTest, UnwritableOutputDirFailsFast) {
+  // validate_output_dir guards every output-dir flag (--trace-dir,
+  // --metrics-dir, --prof-dir): a path that cannot be a writable directory
+  // must abort the bench before any run executes.
+  EXPECT_EXIT(validate_output_dir("/proc/not-a-writable-dir", "--prof-dir", "test"),
+              testing::ExitedWithCode(2), "--prof-dir");
+}
+
 std::string read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
   EXPECT_TRUE(in.good()) << path;
@@ -487,6 +495,76 @@ TEST(ExpMetrics, CacheServedRunsEmitNoMetrics) {
   run_grid(specs, no_cache);
   EXPECT_TRUE(fs::exists(fs::path(metrics_dir.path()) /
                          (cache_key(specs[0]) + ".metrics.json")));
+}
+
+// The host-time profiler is the third instrument under the same contract
+// (DESIGN.md §14): attaching it may observe a run, never steer it.
+TEST(ExpProfiling, ProfilingDoesNotChangeResults) {
+  TempCacheDir prof_dir("ones_exp_prof_results");
+  const auto specs = tiny_grid();
+  const auto plain = run_grid(specs, quiet_options(2));
+  auto opt = quiet_options(2);
+  opt.prof_dir = prof_dir.path();
+  const auto profiled = run_grid(specs, opt);
+  ASSERT_EQ(plain.size(), profiled.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    expect_identical(plain[i], profiled[i]);
+  }
+  // Each executed run exported its span profile, and it parses.
+  for (const auto& spec : specs) {
+    const fs::path path =
+        fs::path(prof_dir.path()) / (cache_key(spec) + ".prof.json");
+    ASSERT_TRUE(fs::exists(path)) << path;
+    const JsonValue doc = parse_json(read_file(path));
+    const JsonValue* spans = doc.find("spans");
+    ASSERT_NE(spans, nullptr) << path;
+    EXPECT_FALSE(spans->array.empty()) << path;
+  }
+}
+
+TEST(ExpProfiling, SpanPathsAndCountsIdenticalForAnyThreadCount) {
+  const auto specs = tiny_grid();
+  prof::ProfileRollup serial_rollup, parallel_rollup;
+  auto serial_opt = quiet_options(1);
+  serial_opt.prof = &serial_rollup;
+  auto parallel_opt = quiet_options(4);
+  parallel_opt.prof = &parallel_rollup;
+  run_grid(specs, serial_opt);
+  run_grid(specs, parallel_opt);
+
+  // Path-keyed aggregation makes the merge order-independent: the span set
+  // and every count are bit-identical across thread counts; only the
+  // nanosecond magnitudes are host noise.
+  const auto serial = serial_rollup.stats();
+  const auto parallel = parallel_rollup.stats();
+  ASSERT_FALSE(serial.empty());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].path, parallel[i].path);
+    EXPECT_EQ(serial[i].count, parallel[i].count) << serial[i].path;
+  }
+}
+
+TEST(ExpProfiling, CacheServedRunsEmitNoProfiles) {
+  TempCacheDir cache_dir("ones_exp_prof_cache");
+  TempCacheDir prof_dir("ones_exp_prof_cached_out");
+  const std::vector<RunSpec> specs = {tiny_spec()};
+
+  run_grid(specs, quiet_options(1, true, cache_dir.path()));
+
+  // Warm pass: every run is cache-served; a profile of a run that never
+  // re-executed would be a lie, so nothing may appear.
+  auto opt = quiet_options(1, true, cache_dir.path());
+  opt.prof_dir = prof_dir.path();
+  const auto warm = run_grid(specs, opt);
+  ASSERT_TRUE(warm[0].from_cache);
+  EXPECT_TRUE(!fs::exists(prof_dir.path()) || fs::is_empty(prof_dir.path()));
+
+  auto no_cache = quiet_options(1, false, cache_dir.path());
+  no_cache.prof_dir = prof_dir.path();
+  run_grid(specs, no_cache);
+  EXPECT_TRUE(fs::exists(fs::path(prof_dir.path()) /
+                         (cache_key(specs[0]) + ".prof.json")));
 }
 
 TEST(ExpMetrics, GridPublishesCacheStatsIntoRegistry) {

@@ -1,0 +1,193 @@
+#include "diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ones::bench_diff {
+
+namespace {
+
+/// Relative difference against the larger magnitude (symmetric, finite for
+/// old == 0). Both exactly zero compares equal.
+double rel_diff(double a, double b) {
+  const double denom = std::max(std::abs(a), std::abs(b));
+  if (denom == 0.0) return 0.0;
+  return std::abs(b - a) / denom;
+}
+
+const JsonValue& require(const JsonValue& doc, const std::string& key) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("not a bench report: missing \"" + key + "\"");
+  }
+  return *v;
+}
+
+/// Flatten an object-of-numbers into `out` under `prefix/`.
+void collect_numbers(const JsonValue* obj, const std::string& prefix,
+                     std::map<std::string, double>& out) {
+  if (obj == nullptr || obj->kind != JsonValue::Kind::Object) return;
+  for (const auto& [key, value] : obj->object) {
+    if (value.kind == JsonValue::Kind::Number) out[prefix + key] = value.number;
+  }
+}
+
+std::map<std::string, double> metric_map(const JsonValue& report) {
+  std::map<std::string, double> m;
+  collect_numbers(report.find("metrics"), "metrics/", m);
+  return m;
+}
+
+std::map<std::string, double> host_map(const JsonValue& report) {
+  std::map<std::string, double> m;
+  const JsonValue* host = report.find("host");
+  if (host != nullptr && host->kind == JsonValue::Kind::Object) {
+    if (const JsonValue* w = host->find("wall_seconds");
+        w != nullptr && w->kind == JsonValue::Kind::Number) {
+      m["host/wall_seconds"] = w->number;
+    }
+    if (const JsonValue* r = host->find("peak_rss_mib");
+        r != nullptr && r->kind == JsonValue::Kind::Number) {
+      m["host/peak_rss_mib"] = r->number;
+    }
+    collect_numbers(host->find("metrics"), "host/", m);
+  }
+  return m;
+}
+
+/// total_ns by span path out of the "profile" array.
+std::map<std::string, double> profile_map(const JsonValue& report) {
+  std::map<std::string, double> m;
+  const JsonValue* profile = report.find("profile");
+  if (profile == nullptr || profile->kind != JsonValue::Kind::Array) return m;
+  for (const JsonValue& span : profile->array) {
+    const JsonValue* path = span.find("path");
+    const JsonValue* total = span.find("total_ns");
+    if (path != nullptr && path->kind == JsonValue::Kind::String && total != nullptr &&
+        total->kind == JsonValue::Kind::Number) {
+      m["profile/" + path->string] = total->number;
+    }
+  }
+  return m;
+}
+
+void record(ReportDiff& diff, Delta delta) {
+  if (delta.severity == Severity::Regression) ++diff.regressions;
+  if (delta.severity == Severity::Warning) ++diff.warnings;
+  diff.deltas.push_back(std::move(delta));
+}
+
+/// Deterministic metrics: symmetric hard comparison.
+void diff_metrics(const std::map<std::string, double>& old_m,
+                  const std::map<std::string, double>& new_m, const Thresholds& t,
+                  ReportDiff& diff) {
+  for (const auto& [key, old_v] : old_m) {
+    const auto it = new_m.find(key);
+    if (it == new_m.end()) {
+      record(diff, {key, old_v, 0.0, Severity::Regression, "only in old"});
+    } else if (rel_diff(old_v, it->second) > t.metric_rel_tol) {
+      record(diff, {key, old_v, it->second, Severity::Regression, ""});
+    }
+  }
+  for (const auto& [key, new_v] : new_m) {
+    if (old_m.find(key) == old_m.end()) {
+      record(diff, {key, 0.0, new_v, Severity::Info, "only in new"});
+    }
+  }
+}
+
+/// Host / profile values: one-sided (increase-only), warn by default.
+void diff_host(const std::map<std::string, double>& old_m,
+               const std::map<std::string, double>& new_m, const Thresholds& t,
+               ReportDiff& diff) {
+  const Severity flagged = t.fail_on_host ? Severity::Regression : Severity::Warning;
+  for (const auto& [key, old_v] : old_m) {
+    const auto it = new_m.find(key);
+    if (it == new_m.end()) continue;  // span/metric vanished: not a slowdown
+    const double new_v = it->second;
+    if (new_v > old_v && rel_diff(old_v, new_v) > t.host_rel_tol) {
+      record(diff, {key, old_v, new_v, flagged, ""});
+    }
+  }
+}
+
+}  // namespace
+
+ReportDiff diff_reports(const JsonValue& old_report, const JsonValue& new_report,
+                        const Thresholds& t) {
+  for (const JsonValue* report : {&old_report, &new_report}) {
+    const JsonValue& schema = require(*report, "schema");
+    if (schema.kind != JsonValue::Kind::Number || schema.number != 1.0) {
+      throw std::runtime_error("not a bench report: unsupported \"schema\"");
+    }
+    require(*report, "bench");
+    require(*report, "metrics");
+  }
+  ReportDiff diff;
+  diff.bench = require(new_report, "bench").string;
+  const std::string old_bench = require(old_report, "bench").string;
+  if (old_bench != diff.bench) {
+    throw std::runtime_error("bench name mismatch: \"" + old_bench + "\" vs \"" +
+                             diff.bench + "\"");
+  }
+  diff_metrics(metric_map(old_report), metric_map(new_report), t, diff);
+  diff_host(host_map(old_report), host_map(new_report), t, diff);
+  diff_host(profile_map(old_report), profile_map(new_report), t, diff);
+  return diff;
+}
+
+ReportDiff diff_files(const std::string& old_path, const std::string& new_path,
+                      const Thresholds& t) {
+  auto load = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      return parse_json(text.str());
+    } catch (const std::exception& e) {
+      throw std::runtime_error("'" + path + "': " + e.what());
+    }
+  };
+  const JsonValue old_report = load(old_path);
+  const JsonValue new_report = load(new_path);
+  return diff_reports(old_report, new_report, t);
+}
+
+std::string format_diff(const ReportDiff& d) {
+  std::ostringstream out;
+  out << "[" << d.bench << "] ";
+  if (d.deltas.empty()) {
+    out << "no changes\n";
+    return out.str();
+  }
+  out << d.regressions << " regression(s), " << d.warnings << " warning(s)\n";
+  for (const Delta& delta : d.deltas) {
+    const char* tag = delta.severity == Severity::Regression ? "REGRESSION"
+                      : delta.severity == Severity::Warning  ? "WARN"
+                                                             : "info";
+    out << "  " << tag << ' ' << delta.key << ": ";
+    if (!delta.note.empty()) {
+      out << delta.note << " (" << json_double(delta.note == "only in old"
+                                                   ? delta.old_value
+                                                   : delta.new_value)
+          << ")";
+    } else {
+      out << json_double(delta.old_value) << " -> " << json_double(delta.new_value);
+      const double denom = std::max(std::abs(delta.old_value), 1e-300);
+      char pct[32];
+      std::snprintf(pct, sizeof pct, "%+.2f%%",
+                    100.0 * (delta.new_value - delta.old_value) / denom);
+      out << " (" << pct << ")";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ones::bench_diff

@@ -1,0 +1,73 @@
+// Cross-run regression diffing for the canonical BENCH_<name>.json files the
+// bench harness emits (bench/harness.hpp BenchReport, DESIGN.md §14).
+//
+// The comparison mirrors the schema's determinism split:
+//   * "metrics"  — deterministic headline results. Any relative drift beyond
+//     a tiny tolerance is a REGRESSION (the simulator is bit-deterministic;
+//     a moved metric means a changed decision path, not noise). A metric
+//     missing from the new file is also a regression; a brand-new metric is
+//     informational.
+//   * "host"     — wall-clock / RSS / throughput measurements. Machine
+//     noise: increases beyond the (much looser) host tolerance WARN by
+//     default, and fail only under Thresholds::fail_on_host.
+//   * "profile"  — host-span rollup nanoseconds, warn-only like host. Span
+//     counts are not compared: a warm cache legitimately changes how many
+//     spans execute.
+//   * "cache"    — informational; never compared (hit/miss depends on the
+//     local cache directory, not the code under test).
+//
+// Library + thin CLI (main.cpp) so tests/bench_diff_test.cpp can assert the
+// classification in-process on synthetic reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace ones::bench_diff {
+
+struct Thresholds {
+  /// Deterministic metrics: relative drift above this is a regression.
+  /// Effectively "exact" by default — doubles survive the %.17g round-trip.
+  double metric_rel_tol = 1e-9;
+  /// Host-side measurements: relative INCREASE above this warns (or fails
+  /// under fail_on_host). Decreases are improvements and never flagged.
+  double host_rel_tol = 0.25;
+  /// Escalate host/profile warnings to regressions (nonzero exit).
+  bool fail_on_host = false;
+};
+
+enum class Severity { Info, Warning, Regression };
+
+/// One compared value (or a presence mismatch, where `note` explains).
+struct Delta {
+  std::string key;  ///< e.g. "metrics/avg_jct.ONES", "host/wall_seconds"
+  double old_value = 0.0;
+  double new_value = 0.0;
+  Severity severity = Severity::Info;
+  std::string note;  ///< empty, "only in old", or "only in new"
+};
+
+struct ReportDiff {
+  std::string bench;  ///< "bench" field of the new report (or the old one)
+  std::vector<Delta> deltas;  ///< flagged values only (unchanged ones are omitted)
+  int regressions = 0;
+  int warnings = 0;
+};
+
+/// Compare two parsed BENCH_*.json documents. Throws std::runtime_error if
+/// either is not a schema-1 bench report.
+ReportDiff diff_reports(const JsonValue& old_report, const JsonValue& new_report,
+                        const Thresholds& t);
+
+/// Load + compare two BENCH_*.json files. Throws std::runtime_error on
+/// missing/unreadable/malformed input.
+ReportDiff diff_files(const std::string& old_path, const std::string& new_path,
+                      const Thresholds& t);
+
+/// Human-readable rendering, one block per report; empty diff renders a
+/// single "no changes" line.
+std::string format_diff(const ReportDiff& d);
+
+}  // namespace ones::bench_diff

@@ -1,0 +1,136 @@
+// bench_diff — compare BENCH_*.json bench reports across runs.
+//
+//   bench_diff [options] OLD NEW
+//
+// OLD and NEW are either two report files or two directories; in directory
+// mode every BENCH_*.json present in BOTH sides is compared (files present
+// on only one side warn). Deterministic metric drift is a regression (exit
+// 1); host-time / profile growth warns unless --fail-on-host. Exit 2 on
+// usage or I/O errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "diff.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ones::bench_diff::ReportDiff;
+using ones::bench_diff::Thresholds;
+
+void print_usage(std::FILE* out, const char* prog) {
+  std::fprintf(out,
+               "usage: %s [options] OLD NEW\n"
+               "Compare two BENCH_*.json bench reports (or two directories of them).\n"
+               "  --metric-tol=X  relative tolerance for deterministic metrics\n"
+               "                  (default 1e-9; anything beyond is a regression)\n"
+               "  --host-tol=X    relative increase tolerated for host time / RSS /\n"
+               "                  profile spans before warning (default 0.25)\n"
+               "  --fail-on-host  treat host/profile growth as a regression too\n"
+               "exit status: 0 clean (warnings allowed), 1 regression, 2 error\n",
+               prog);
+}
+
+double parse_double_value(const char* arg, const char* value, const char* prog) {
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (*value == '\0' || *end != '\0' || !(v >= 0.0)) {
+    std::fprintf(stderr, "%s: bad value in '%s' (need a number >= 0)\n", prog, arg);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// BENCH_*.json basenames in `dir`, name -> full path.
+std::map<std::string, fs::path> report_files(const fs::path& dir) {
+  std::map<std::string, fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      files[name] = entry.path();
+    }
+  }
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* prog = argc > 0 ? argv[0] : "bench_diff";
+  Thresholds thresholds;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage(stdout, prog);
+      return 0;
+    } else if (std::strncmp(arg, "--metric-tol=", 13) == 0) {
+      thresholds.metric_rel_tol = parse_double_value(arg, arg + 13, prog);
+    } else if (std::strncmp(arg, "--host-tol=", 11) == 0) {
+      thresholds.host_rel_tol = parse_double_value(arg, arg + 11, prog);
+    } else if (std::strcmp(arg, "--fail-on-host") == 0) {
+      thresholds.fail_on_host = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", prog, arg);
+      print_usage(stderr, prog);
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    print_usage(stderr, prog);
+    return 2;
+  }
+
+  int regressions = 0;
+  int warnings = 0;
+  try {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    if (fs::is_directory(paths[0]) && fs::is_directory(paths[1])) {
+      const auto old_files = report_files(paths[0]);
+      const auto new_files = report_files(paths[1]);
+      for (const auto& [name, old_path] : old_files) {
+        const auto it = new_files.find(name);
+        if (it == new_files.end()) {
+          std::printf("WARN %s: only in %s\n", name.c_str(), paths[0].c_str());
+          ++warnings;
+        } else {
+          pairs.emplace_back(old_path.string(), it->second.string());
+        }
+      }
+      for (const auto& [name, new_path] : new_files) {
+        if (old_files.find(name) == old_files.end()) {
+          std::printf("WARN %s: only in %s\n", name.c_str(), paths[1].c_str());
+          ++warnings;
+        }
+      }
+      if (pairs.empty() && old_files.empty() && new_files.empty()) {
+        std::fprintf(stderr, "%s: no BENCH_*.json files in either directory\n", prog);
+        return 2;
+      }
+    } else {
+      pairs.emplace_back(paths[0], paths[1]);
+    }
+    for (const auto& [old_path, new_path] : pairs) {
+      const ReportDiff diff =
+          ones::bench_diff::diff_files(old_path, new_path, thresholds);
+      std::fputs(ones::bench_diff::format_diff(diff).c_str(), stdout);
+      regressions += diff.regressions;
+      warnings += diff.warnings;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", prog, e.what());
+    return 2;
+  }
+  std::printf("total: %d regression(s), %d warning(s)\n", regressions, warnings);
+  return regressions > 0 ? 1 : 0;
+}
